@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` regenerates one experiment of EXPERIMENTS.md: it runs
+the measured sweep, prints a labeled table (visible with ``pytest
+benchmarks/ -s`` and recorded in EXPERIMENTS.md), asserts the *shape*
+claims (who wins, roughly by how much), and registers one or two
+pytest-benchmark timings for the headline operation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+__all__ = ["timed", "print_table"]
+
+
+def timed(fn: Callable[[], object], repeat: int = 3) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time of ``fn`` in seconds, plus its result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print one experiment table in a stable fixed-width layout."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,109 @@
+"""E10 -- the hierarchy of equivalence notions on graphs.
+
+Claims operationalized (sections 2 and 5): object identity aside, the
+candidate equalities order strictly as
+
+    bisimilar  =>  mutually similar  =>  path/automata equivalent
+
+(bisimulation is UnQL's value equality; mutual simulation is the §5 schema
+relationship run both ways; path equivalence is the DataGuide notion).
+Both inclusions are strict, witnessed by counterexamples below -- and the
+second one is subtle: hypothesis *refuted* the reversed ordering during
+development (path-equivalent graphs need not simulate each other, because
+path languages forget branching).  Costs differ too: bisimulation by
+partition refinement is near-linear, path equivalence pays
+determinization, simulation is the quadratic fixpoint.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.core.bisim import bisimilar, reduce_graph
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.core.labels import sym
+from repro.datasets import generate_movies
+from repro.schema.dataguide import paths_equivalent
+from repro.schema.simulation import graph_simulation
+
+
+def mutually_similar(g1: Graph, g2: Graph) -> bool:
+    fwd = (g1.root, g2.root) in graph_simulation(g1, g2)
+    bwd = (g2.root, g1.root) in graph_simulation(g2, g1)
+    return fwd and bwd
+
+
+def test_e10_hierarchy_and_costs(benchmark):
+    g = generate_movies(60, seed=101)
+    variants = {
+        "identical copy": g.copy(),
+        "bisimulation quotient": reduce_graph(g),
+        "one relabeled edge": g.map_labels(
+            lambda lab: sym("Directed_by") if lab == sym("Director") else lab
+        ),
+    }
+    rows = []
+    for name, other in variants.items():
+        bisim_s, is_bisim = timed(lambda o=other: bisimilar(g, o), repeat=1)
+        path_s, is_path = timed(lambda o=other: paths_equivalent(g, o), repeat=1)
+        sim_s, is_sim = timed(lambda o=other: mutually_similar(g, o), repeat=1)
+        # the hierarchy: bisim => mutually similar => path-equivalent
+        if is_bisim:
+            assert is_sim
+        if is_sim:
+            assert is_path
+        rows.append(
+            (
+                name,
+                is_bisim,
+                is_path,
+                is_sim,
+                f"{bisim_s * 1e3:.1f}ms",
+                f"{path_s * 1e3:.1f}ms",
+                f"{sim_s * 1e3:.1f}ms",
+            )
+        )
+    print_table(
+        "E10: equality notions on a 60-entry movie database",
+        ["pair", "bisim", "path-eq", "mut-sim", "t(bisim)", "t(path)", "t(sim)"],
+        rows,
+    )
+    # strictness witnesses
+    # 1. path-equivalent but NOT mutually similar (branching forgotten):
+    split = from_obj({"a": [{"b": None}, {"c": None}]})
+    merged = from_obj({"a": {"b": None, "c": None}})
+    assert paths_equivalent(split, merged)
+    assert not mutually_similar(split, merged)  # merged's a-child beats both
+    assert not bisimilar(split, merged)
+    # 2. mutually similar but NOT bisimilar (the classic similarity gap):
+    p = from_obj({"a": {"b": None, "c": None}})
+    q = from_obj({"a": [{"b": None}, {"b": None, "c": None}]})
+    assert mutually_similar(p, q)
+    assert not bisimilar(p, q)
+    assert paths_equivalent(p, q)
+    print("\nE10 witnesses: both inclusions of"
+          " bisim => mutual-sim => path-eq are strict")
+
+    other = variants["bisimulation quotient"]
+    benchmark(lambda: bisimilar(g, other))
+
+
+def test_e10_cost_scaling(benchmark):
+    rows = []
+    for entries in (30, 120, 480):
+        g = generate_movies(entries, seed=102)
+        q = reduce_graph(g)
+        b_s, _ = timed(lambda: bisimilar(g, q), repeat=1)
+        p_s, _ = timed(lambda: paths_equivalent(g, q), repeat=1)
+        rows.append((entries, g.num_nodes, f"{b_s * 1e3:.1f}ms", f"{p_s * 1e3:.1f}ms"))
+    print_table(
+        "E10b: equality-check cost vs size (graph vs its quotient)",
+        ["entries", "nodes", "bisimulation", "path equivalence"],
+        rows,
+    )
+    g = generate_movies(120, seed=102)
+    q = reduce_graph(g)
+    benchmark(lambda: bisimilar(g, q))

@@ -1,0 +1,92 @@
+"""E11 -- graph datalog: unbounded search, naive vs semi-naive.
+
+Claim operationalized (section 3): "some forms of unbounded search will
+require recursive queries, i.e., a 'graph datalog'".  Expected shape: both
+strategies compute identical fixpoints; semi-naive wins increasingly with
+recursion depth (on a long chain the naive strategy re-derives the whole
+frontier every round, going quadratic, while semi-naive stays linear in
+derived facts).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.core.graph import Graph
+from repro.datalog import run_on_graph
+from repro.datasets import generate_web
+
+REACH = """
+reach(X) :- root(X).
+reach(Y) :- reach(X), edge(X, L, Y).
+"""
+
+CONSTRAINED = """
+reach(X) :- root(X).
+reach(Y) :- reach(X), edge(X, L, Y), L != "keyword".
+interesting(X) :- reach(X), not leaf(X).
+"""
+
+
+def chain(n: int) -> Graph:
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for i in range(n - 1):
+        g.add_edge(nodes[i], "next", nodes[i + 1])
+    return g
+
+
+def test_e11_chain_depth_sweep(benchmark):
+    rows = []
+    for n in (50, 100, 200, 400):
+        g = chain(n)
+        semi_s, semi = timed(lambda: run_on_graph(REACH, g, "reach"), repeat=1)
+        naive_s, naive = timed(
+            lambda: run_on_graph(REACH, g, "reach", semi_naive=False), repeat=1
+        )
+        assert semi == naive
+        rows.append(
+            (
+                n,
+                len(semi),
+                f"{semi_s * 1e3:.1f}ms",
+                f"{naive_s * 1e3:.1f}ms",
+                f"x{naive_s / semi_s:.1f}",
+            )
+        )
+    print_table(
+        "E11: reachability on an n-chain, semi-naive vs naive",
+        ["chain length", "facts", "semi-naive", "naive", "naive/semi"],
+        rows,
+    )
+    # shape: the gap grows with depth
+    ratios = [float(r[4][1:]) for r in rows]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 3.0
+
+    g = chain(200)
+    benchmark(lambda: run_on_graph(REACH, g, "reach"))
+
+
+def test_e11_web_with_negation(benchmark):
+    web = generate_web(150, seed=111)
+    semi_s, semi = timed(
+        lambda: run_on_graph(CONSTRAINED, web, "interesting"), repeat=1
+    )
+    naive_s, naive = timed(
+        lambda: run_on_graph(CONSTRAINED, web, "interesting", semi_naive=False),
+        repeat=1,
+    )
+    assert semi == naive
+    print_table(
+        "E11b: stratified negation on a cyclic web graph",
+        ["strategy", "facts", "time"],
+        [
+            ("semi-naive", len(semi), f"{semi_s * 1e3:.1f}ms"),
+            ("naive", len(naive), f"{naive_s * 1e3:.1f}ms"),
+        ],
+    )
+    benchmark(lambda: run_on_graph(CONSTRAINED, web, "interesting"))

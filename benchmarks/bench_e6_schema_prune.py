@@ -1,0 +1,88 @@
+"""E6 -- graph schemas enable query optimization.
+
+Claim operationalized (section 5, [20]): running the query automaton over
+the schema first prunes impossible queries without touching data, and the
+schema is tiny next to the database.  Expected shape: for queries the
+schema rules out, pruned evaluation is orders of magnitude faster than
+data traversal and returns the identical (empty) answer; for satisfiable
+queries the overhead of the schema check is negligible.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.automata.product import rpq_nodes
+from repro.datasets import generate_movies
+from repro.schema.inference import infer_schema
+from repro.schema.prune import pruned_rpq_nodes, schema_reachable_states
+
+QUERIES = [
+    ("present: titles", "Entry.Movie.Title.<string>"),
+    ("present: deep Allen", 'Entry.Movie.Cast.#."Allen"'),
+    ("absent: BoxOffice", "Entry.Movie.BoxOffice"),
+    ("absent: deep Salary", "#.Salary.<int>"),
+    ("absent: wrong nesting", "Movie.Entry.Title"),
+]
+
+
+def test_e6_schema_pruning(benchmark):
+    g = generate_movies(800, seed=61)
+    schema = infer_schema(g)
+    assert schema.conforms(g)
+    print(
+        f"\nE6 setup: database {g.num_edges} edges; inferred schema "
+        f"{schema.num_nodes} nodes / {schema.num_edges} predicate edges"
+    )
+    rows = []
+    for name, pattern in QUERIES:
+        plain_s, plain_hits = timed(lambda p=pattern: rpq_nodes(g, p), repeat=2)
+        pruned_s, pruned_hits = timed(
+            lambda p=pattern: pruned_rpq_nodes(g, schema, p), repeat=2
+        )
+        assert pruned_hits == plain_hits, name
+        rows.append(
+            (
+                name,
+                len(plain_hits),
+                f"{plain_s * 1e3:.2f}ms",
+                f"{pruned_s * 1e3:.2f}ms",
+                f"x{plain_s / pruned_s:.1f}" if pruned_s else "-",
+            )
+        )
+    print_table(
+        "E6: path queries with and without schema pruning",
+        ["query", "hits", "no schema", "with schema", "speedup"],
+        rows,
+    )
+    # shape: absent-path queries get large speedups; present ones stay close
+    absent = [r for r in rows if r[0].startswith("absent")]
+    for row in absent:
+        assert row[1] == 0
+        assert float(row[4][1:]) > 3.0, row
+    present = [r for r in rows if r[0].startswith("present")]
+    for row in present:
+        assert float(row[4][1:]) > 0.5, row  # at most ~2x overhead
+
+    benchmark(lambda: pruned_rpq_nodes(g, schema, "#.Salary.<int>"))
+
+
+def test_e6_schema_is_small(benchmark):
+    sizes = []
+    for entries in (100, 400, 1600):
+        g = generate_movies(entries, seed=62)
+        schema = infer_schema(g)
+        sizes.append((entries, g.num_nodes, schema.num_nodes,
+                      f"{g.num_nodes / schema.num_nodes:.0f}x"))
+    print_table(
+        "E6b: schema size vs database size",
+        ["entries", "db nodes", "schema nodes", "compression"],
+        sizes,
+    )
+    # shape: compression grows with database size (regular data)
+    assert sizes[-1][1] / sizes[-1][2] > sizes[0][1] / sizes[0][2]
+
+    g = generate_movies(400, seed=62)
+    benchmark(lambda: infer_schema(g))

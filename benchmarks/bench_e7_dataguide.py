@@ -1,0 +1,131 @@
+"""E7 -- DataGuides enable query formulation and optimization.
+
+Claims operationalized (section 5, [22]): the strong DataGuide is small on
+regular data, costs one determinization pass to build, and answers path
+existence / path targets in time independent of database size.  Expected
+shape: guide states grow far slower than data nodes; path-existence via
+the guide beats a data traversal by orders of magnitude; the degree-k
+representative object is smaller still, at the price of spurious paths
+beyond depth k.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.automata.product import rpq_nodes
+from repro.core.labels import string, sym
+from repro.datasets import generate_movies
+from repro.schema.dataguide import DataGuide
+from repro.schema.representative import representative_object
+
+PATH = (sym("Entry"), sym("Movie"), sym("Cast"), sym("Actors"))
+
+
+def test_e7_build_cost_and_size(benchmark):
+    rows = []
+    for entries in (100, 400, 1600):
+        g = generate_movies(entries, seed=71)
+        build_s, guide = timed(lambda: DataGuide(g), repeat=1)
+        ro = representative_object(g, 2)
+        rows.append(
+            (
+                entries,
+                g.num_nodes,
+                guide.num_states,
+                f"{build_s * 1e3:.1f}ms",
+                ro.num_nodes,
+            )
+        )
+    print_table(
+        "E7: DataGuide and degree-2 RO size vs database size",
+        ["entries", "db nodes", "guide states", "guide build", "RO(k=2) nodes"],
+        rows,
+    )
+    # shape: summaries grow much slower than the data
+    assert rows[-1][1] / rows[0][1] > 4 * rows[-1][2] / rows[0][2] or (
+        rows[-1][2] < rows[-1][1] / 3
+    )
+    assert rows[-1][4] <= rows[-1][2] * 2  # RO comparable or smaller
+
+    g = generate_movies(400, seed=71)
+    benchmark(lambda: DataGuide(g))
+
+
+def test_e7_path_queries_via_guide(benchmark):
+    g = generate_movies(1600, seed=72)
+    guide = DataGuide(g)
+    pattern = "Entry.Movie.Cast.Actors"
+
+    exists_s, exists = timed(lambda: guide.path_exists(PATH), repeat=5)
+    scan_s, scan_hits = timed(lambda: rpq_nodes(g, pattern), repeat=2)
+    targets = guide.target_set(PATH)
+    assert exists and targets == frozenset(scan_hits)
+
+    absent = PATH + (string("nope"),)
+    absent_s, absent_exists = timed(lambda: guide.path_exists(absent), repeat=5)
+    absent_scan_s, absent_hits = timed(
+        lambda: rpq_nodes(g, pattern + '."nope"'), repeat=2
+    )
+    assert not absent_exists and not absent_hits
+
+    print_table(
+        "E7b: fixed-path queries, guide vs data traversal (1600 entries)",
+        ["query", "answer", "via guide", "via traversal", "speedup"],
+        [
+            (
+                pattern,
+                f"{len(targets)} nodes",
+                f"{exists_s * 1e6:.1f}us",
+                f"{scan_s * 1e3:.2f}ms",
+                f"x{scan_s / exists_s:.0f}",
+            ),
+            (
+                pattern + '."nope"',
+                "absent",
+                f"{absent_s * 1e6:.1f}us",
+                f"{absent_scan_s * 1e3:.2f}ms",
+                f"x{absent_scan_s / absent_s:.0f}",
+            ),
+        ],
+    )
+    assert scan_s / exists_s > 50  # orders of magnitude, as claimed
+    benchmark(lambda: guide.target_set(PATH))
+
+
+def test_e7c_rpq_via_dataguide(benchmark):
+    """Regular (not just fixed) path queries answered off the summary."""
+    from repro.schema.dataguide import rpq_via_dataguide
+
+    g = generate_movies(1600, seed=73)
+    guide = DataGuide(g)
+    rows = []
+    for pattern in [
+        "Entry.Movie.(Cast|Director)",
+        "Entry._.Title.<string>",
+        'Entry.Movie.Cast.#."Allen"',
+    ]:
+        data_s, data_hits = timed(lambda p=pattern: rpq_nodes(g, p), repeat=2)
+        guide_s, guide_hits = timed(
+            lambda p=pattern: rpq_via_dataguide(guide, p), repeat=2
+        )
+        assert guide_hits == frozenset(data_hits), pattern
+        rows.append(
+            (
+                pattern,
+                len(data_hits),
+                f"{data_s * 1e3:.2f}ms",
+                f"{guide_s * 1e3:.2f}ms",
+                f"x{data_s / guide_s:.1f}",
+            )
+        )
+    print_table(
+        "E7c: full RPQ evaluation, data product vs DataGuide product",
+        ["pattern", "hits", "on data", "on guide", "speedup"],
+        rows,
+    )
+    # shape: the guide product wins (the guide is ~7x smaller)
+    assert all(float(r[4][1:]) > 1.0 for r in rows)
+    benchmark(lambda: rpq_via_dataguide(guide, "Entry.Movie.(Cast|Director)"))

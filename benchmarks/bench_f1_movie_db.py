@@ -1,0 +1,73 @@
+"""F1 -- Figure 1: the example movie database.
+
+Regenerates the paper's only figure: builds the exact graph, verifies
+every structural feature the figure shows (both cast representations, the
+1.2E6 credit, the integer-labeled episode array, the References cycle),
+renders it, and times the figure's flagship queries.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.automata.product import rpq_nodes
+from repro.browse import find_value
+from repro.core import render, string, sym
+from repro.core.labels import real
+from repro.datasets import figure1
+from repro.unql import fix_bacall, unql
+
+
+def test_f1_structure_and_render(benchmark):
+    g = figure1()
+
+    checks = [
+        ("Entry edges", len([e for e in g.edges_from(g.root) if e.label == sym("Entry")]), 3),
+        ("Movie entries", len(rpq_nodes(g, "Entry.Movie")), 2),
+        ("TV Show entries", len(rpq_nodes(g, "Entry.`TV Show`")), 1),
+        ("direct cast strings (repr A)", len(rpq_nodes(g, "Entry.Movie.Cast.<string>")), 2),
+        ("Credit/Actors cast (repr B)", len(rpq_nodes(g, 'Entry.Movie.Cast.Actors."Allen"')), 1),
+        ("1.2E6 credit edges", sum(1 for e in g.edges() if e.label == real(1.2e6)), 1),
+        ("episode array entries", len(rpq_nodes(g, "Entry.`TV Show`.Episode.<int>")), 3),
+        ("cyclic (References pair)", int(g.has_cycle()), 1),
+    ]
+    print_table("F1: Figure 1 structural inventory", ["feature", "measured", "figure"], checks)
+    for name, measured, expected in checks:
+        assert measured == expected, name
+
+    print("\n" + render(g))
+
+    # the figure's flagship query: is Allen below a Movie without another
+    # Movie edge in between?
+    def flagship():
+        return unql(
+            r'select {found: 1} where {Entry.Movie.(!Movie)*: {_: "Allen"}} in db',
+            db=g,
+        )
+
+    result = benchmark(flagship)
+    assert result.out_degree(result.root) > 0
+
+    # and the famous restructuring: the Bacall fix
+    fixed = fix_bacall(g, string("Bacall"), string("Bergman"), sym("Cast"))
+    assert find_value(fixed, "Bacall") == []
+    assert len(find_value(fixed, "Bergman")) == 1
+
+
+def test_f1_query_suite_timings(benchmark):
+    g = figure1()
+    benchmark(lambda: rpq_nodes(g, '#."Casablanca"'))
+    queries = [
+        ("titles", "Entry._.Title"),
+        ("find Casablanca", '#."Casablanca"'),
+        ("Allen constrained", 'Entry.Movie.(!Movie)*."Allen"'),
+        ("follow the cycle", "Entry.Movie.(References|`Is referenced in`)*"),
+    ]
+    rows = []
+    for name, pattern in queries:
+        seconds, hits = timed(lambda p=pattern: rpq_nodes(g, p), repeat=5)
+        rows.append((name, pattern, len(hits), f"{seconds * 1e6:.0f}us"))
+    print_table("F1: query timings on Figure 1", ["query", "pattern", "hits", "time"], rows)
+    assert all(r[2] > 0 for r in rows)

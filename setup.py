@@ -1,0 +1,4 @@
+"""Legacy setup shim: allows editable installs without the wheel package."""
+from setuptools import setup
+
+setup()

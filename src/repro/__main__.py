@@ -1,0 +1,12 @@
+"""``python -m repro`` entry point: dispatches to :mod:`repro.cli`.
+
+See ``python -m repro --help`` for the command list (render, dot, query,
+lorel, datalog, find, paths, schema, stats).
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

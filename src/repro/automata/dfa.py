@@ -1,0 +1,92 @@
+"""Lazy determinization of predicate-guarded NFAs.
+
+Classical subset construction assumes a finite alphabet; path regexes over
+semistructured data do not have one (any int, string or symbol can label an
+edge).  The trick: two labels that agree on every transition predicate of
+the NFA are indistinguishable, so the *predicate truth vector* of a label
+is its effective letter.  :class:`LazyDfa` builds DFA states on demand,
+memoized per (subset-state, truth-vector); the result is a deterministic
+runner with amortized O(1) predicate work per (state, vector) pair, which
+is what makes repeated RPQ evaluation over large graphs cheap.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from .nfa import Nfa
+from .regex import LabelPredicate
+
+__all__ = ["LazyDfa"]
+
+
+class LazyDfa:
+    """A DFA materialized lazily from an NFA.
+
+    DFA states are interned frozensets of NFA states.  The transition
+    table is keyed by ``(dfa_state, truth_vector)`` where the truth vector
+    evaluates every NFA predicate against the incoming label once.
+    """
+
+    def __init__(self, nfa: Nfa) -> None:
+        self._nfa = nfa
+        self._predicates: list[LabelPredicate] = nfa.predicates()
+        self._pred_index = {p: i for i, p in enumerate(self._predicates)}
+        self._state_ids: dict[frozenset[int], int] = {}
+        self._subsets: list[frozenset[int]] = []
+        self._accepting: list[bool] = []
+        self._table: dict[tuple[int, tuple[bool, ...]], int] = {}
+        self._vector_cache: dict[Label, tuple[bool, ...]] = {}
+        self.start = self._intern(nfa.initial())
+
+    # -- state management -------------------------------------------------------
+
+    def _intern(self, subset: frozenset[int]) -> int:
+        if subset not in self._state_ids:
+            self._state_ids[subset] = len(self._subsets)
+            self._subsets.append(subset)
+            self._accepting.append(self._nfa.is_accepting(subset))
+        return self._state_ids[subset]
+
+    def _truth_vector(self, label: Label) -> tuple[bool, ...]:
+        cached = self._vector_cache.get(label)
+        if cached is None:
+            cached = tuple(p.matches(label) for p in self._predicates)
+            self._vector_cache[label] = cached
+        return cached
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self, state: int, label: Label) -> int:
+        """The deterministic transition on ``label`` (building it if new)."""
+        vector = self._truth_vector(label)
+        key = (state, vector)
+        nxt = self._table.get(key)
+        if nxt is None:
+            subset = self._subsets[state]
+            targets: set[int] = set()
+            for s in subset:
+                for predicate, t in self._nfa.transitions[s]:
+                    if vector[self._pred_index[predicate]]:
+                        targets.add(t)
+            nxt = self._intern(self._nfa.eps_closure(targets))
+            self._table[key] = nxt
+        return nxt
+
+    def is_accepting(self, state: int) -> bool:
+        return self._accepting[state]
+
+    def is_dead(self, state: int) -> bool:
+        """True iff the state is the empty subset: no continuation can match."""
+        return not self._subsets[state]
+
+    def matches(self, labels) -> bool:
+        state = self.start
+        for label in labels:
+            state = self.step(state, label)
+            if self.is_dead(state):
+                return False
+        return self.is_accepting(state)
+
+    @property
+    def num_materialized_states(self) -> int:
+        return len(self._subsets)

@@ -1,0 +1,157 @@
+"""Thompson construction: path regex -> NFA with epsilon moves.
+
+The NFA is the operational form of a general path expression.  Its
+transitions are guarded by :class:`~repro.automata.regex.LabelPredicate`
+values rather than concrete letters, because the alphabet of a
+semistructured database (all labels) is unbounded and heterogeneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.labels import Label
+from .regex import (
+    AltRE,
+    AtomRE,
+    ConcatRE,
+    EpsilonRE,
+    LabelPredicate,
+    OptRE,
+    PathRegex,
+    PlusRE,
+    StarRE,
+)
+
+__all__ = ["Nfa", "build_nfa"]
+
+
+@dataclass
+class Nfa:
+    """An NFA with predicate-guarded transitions and epsilon moves.
+
+    States are integers ``0..n-1``; ``transitions[s]`` is a list of
+    ``(predicate, target)`` pairs and ``epsilon[s]`` a list of targets.
+    """
+
+    start: int = 0
+    accepting: set[int] = field(default_factory=set)
+    transitions: list[list[tuple[LabelPredicate, int]]] = field(default_factory=list)
+    epsilon: list[list[int]] = field(default_factory=list)
+
+    # -- construction helpers -----------------------------------------------
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        self.epsilon.append([])
+        return len(self.transitions) - 1
+
+    def add_transition(self, src: int, predicate: LabelPredicate, dst: int) -> None:
+        self.transitions[src].append((predicate, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon[src].append(dst)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    # -- execution -------------------------------------------------------------
+
+    def eps_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            s = stack.pop()
+            for t in self.epsilon[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+    def step(self, states: frozenset[int], label: Label) -> frozenset[int]:
+        """One consumption step: predicate-matching moves then closure."""
+        nxt: set[int] = set()
+        for s in states:
+            for predicate, t in self.transitions[s]:
+                if predicate.matches(label):
+                    nxt.add(t)
+        return self.eps_closure(nxt)
+
+    def initial(self) -> frozenset[int]:
+        return self.eps_closure([self.start])
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        return any(s in self.accepting for s in states)
+
+    def matches(self, labels: Sequence[Label]) -> bool:
+        """Whole-sequence acceptance (the word semantics of the regex)."""
+        current = self.initial()
+        for label in labels:
+            if not current:
+                return False
+            current = self.step(current, label)
+        return self.is_accepting(current)
+
+    def predicates(self) -> list[LabelPredicate]:
+        """The distinct transition guards (deterministic order)."""
+        seen: dict[LabelPredicate, None] = {}
+        for moves in self.transitions:
+            for predicate, _ in moves:
+                seen.setdefault(predicate)
+        return list(seen)
+
+
+def build_nfa(regex: PathRegex) -> Nfa:
+    """Thompson's construction, adapted to predicate-guarded transitions."""
+    nfa = Nfa()
+    start = nfa.new_state()
+    nfa.start = start
+    end = _build(nfa, regex, start)
+    nfa.accepting = {end}
+    return nfa
+
+
+def _build(nfa: Nfa, node: PathRegex, entry: int) -> int:
+    """Wire ``node`` into ``nfa`` starting at ``entry``; return the exit state."""
+    if isinstance(node, EpsilonRE):
+        return entry
+    if isinstance(node, AtomRE):
+        exit_state = nfa.new_state()
+        nfa.add_transition(entry, node.predicate, exit_state)
+        return exit_state
+    if isinstance(node, ConcatRE):
+        mid = _build(nfa, node.left, entry)
+        return _build(nfa, node.right, mid)
+    if isinstance(node, AltRE):
+        left_exit = _build(nfa, node.left, entry)
+        right_entry = nfa.new_state()
+        nfa.add_epsilon(entry, right_entry)
+        right_exit = _build(nfa, node.right, right_entry)
+        join = nfa.new_state()
+        nfa.add_epsilon(left_exit, join)
+        nfa.add_epsilon(right_exit, join)
+        return join
+    if isinstance(node, StarRE):
+        loop = nfa.new_state()
+        nfa.add_epsilon(entry, loop)
+        body_exit = _build(nfa, node.inner, loop)
+        nfa.add_epsilon(body_exit, loop)
+        return loop
+    if isinstance(node, PlusRE):
+        body_exit = _build(nfa, node.inner, entry)
+        # loop back: after one mandatory pass, behave like star
+        loop = nfa.new_state()
+        nfa.add_epsilon(body_exit, loop)
+        again_exit = _build(nfa, node.inner, loop)
+        nfa.add_epsilon(again_exit, loop)
+        return loop
+    if isinstance(node, OptRE):
+        body_exit = _build(nfa, node.inner, entry)
+        join = nfa.new_state()
+        nfa.add_epsilon(entry, join)
+        nfa.add_epsilon(body_exit, join)
+        return join
+    raise TypeError(f"unknown regex node {type(node).__name__}")

@@ -1,0 +1,469 @@
+"""Path regular expressions over edge labels.
+
+Section 3: *"one wants to specify paths of arbitrary length ... These
+problems indicate that one would like to have something like regular
+expressions to constrain paths."*  This module defines the abstract syntax
+of such path regexes together with a concrete textual grammar shared by the
+Lorel-style language (general path expressions) and the standalone RPQ API.
+
+Grammar::
+
+    regex   := seq ('|' seq)*
+    seq     := rep ('.' rep)*
+    rep     := atom ('*' | '+' | '?')?
+    atom    := '(' regex ')'
+             | '_'                   -- any single label
+             | '#'                   -- any path, i.e. _*
+             | '!' atom              -- any single label NOT matched by atom
+             | name                  -- symbol, '%' is a multi-char wildcard
+             | "text"                -- string data label, '%' wildcard
+             | <int> | <real> | <string> | <bool> | <symbol>  -- type tests
+
+Examples from the paper's running movie database::
+
+    Entry.Movie.Title                 -- a fixed path
+    Entry._.Title                     -- one unknown step
+    #."Casablanca"                    -- the string anywhere in the database
+    Entry.Movie.(!Movie)*."Allen"     -- Allen below a Movie without passing
+                                         another Movie edge on the way
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.labels import Label, LabelKind, label_of, sym
+
+__all__ = [
+    "LabelPredicate",
+    "exact",
+    "glob_symbol",
+    "glob_string",
+    "any_label",
+    "type_test",
+    "negated",
+    "PathRegex",
+    "AtomRE",
+    "ConcatRE",
+    "AltRE",
+    "StarRE",
+    "PlusRE",
+    "OptRE",
+    "EpsilonRE",
+    "parse_path_regex",
+    "RegexSyntaxError",
+]
+
+
+# ---------------------------------------------------------------------------
+# Label predicates: the alphabet "letters" of a path regex.
+
+
+@dataclass(frozen=True, slots=True)
+class LabelPredicate:
+    """A decidable predicate on labels, with a stable key for memoization.
+
+    ``kind`` discriminates the match rule; ``payload`` parameterizes it.
+    Predicates compare and hash by value, so automata states built from
+    them dedupe correctly.
+    """
+
+    kind: str
+    payload: tuple = ()
+
+    def matches(self, label: Label) -> bool:
+        k = self.kind
+        if k == "exact":
+            return label == self.payload[0]
+        if k == "glob-symbol":
+            return label.is_symbol and fnmatch.fnmatchcase(
+                str(label.value), self.payload[0]
+            )
+        if k == "glob-string":
+            return label.is_string and fnmatch.fnmatchcase(
+                str(label.value), self.payload[0]
+            )
+        if k == "any":
+            return True
+        if k == "type":
+            return label.kind is self.payload[0]
+        if k == "not":
+            return not self.payload[0].matches(label)
+        raise AssertionError(f"unknown predicate kind {k!r}")
+
+    @property
+    def is_exact(self) -> bool:
+        return self.kind == "exact"
+
+    @property
+    def exact_label(self) -> Label:
+        if not self.is_exact:
+            raise ValueError("not an exact predicate")
+        return self.payload[0]
+
+    def __str__(self) -> str:
+        k = self.kind
+        if k == "exact":
+            return repr(self.payload[0])
+        if k == "glob-symbol":
+            return self.payload[0].replace("*", "%")
+        if k == "glob-string":
+            return '"' + self.payload[0].replace("*", "%") + '"'
+        if k == "any":
+            return "_"
+        if k == "type":
+            return f"<{self.payload[0].value}>"
+        if k == "not":
+            return f"!{self.payload[0]}"
+        raise AssertionError
+
+
+def exact(label: Label | str | int | float | bool) -> LabelPredicate:
+    """Match exactly one label (a ``str`` means a symbol, as in Graph.add_edge)."""
+    lab = sym(label) if isinstance(label, str) else label_of(label)
+    return LabelPredicate("exact", (lab,))
+
+
+def glob_symbol(pattern: str) -> LabelPredicate:
+    """Match symbols against a ``%``-wildcard pattern (e.g. ``act%``)."""
+    return LabelPredicate("glob-symbol", (pattern.replace("%", "*"),))
+
+
+def glob_string(pattern: str) -> LabelPredicate:
+    """Match string data labels against a ``%``-wildcard pattern."""
+    return LabelPredicate("glob-string", (pattern.replace("%", "*"),))
+
+
+def any_label() -> LabelPredicate:
+    """Match any label at all (the ``_`` wildcard)."""
+    return LabelPredicate("any")
+
+
+def type_test(kind: LabelKind) -> LabelPredicate:
+    """Match labels of one kind: the dynamic type predicates of section 2."""
+    return LabelPredicate("type", (kind,))
+
+
+def negated(inner: LabelPredicate) -> LabelPredicate:
+    """Match any single label the inner predicate rejects."""
+    return LabelPredicate("not", (inner,))
+
+
+# ---------------------------------------------------------------------------
+# Regex AST.
+
+
+class PathRegex:
+    """Base class of path-regex AST nodes."""
+
+    def atoms(self) -> Iterator[LabelPredicate]:
+        """All label predicates appearing in the regex."""
+        raise NotImplementedError
+
+    def __or__(self, other: "PathRegex") -> "PathRegex":
+        return AltRE(self, other)
+
+    def then(self, other: "PathRegex") -> "PathRegex":
+        return ConcatRE(self, other)
+
+    def star(self) -> "PathRegex":
+        return StarRE(self)
+
+
+@dataclass(frozen=True)
+class AtomRE(PathRegex):
+    predicate: LabelPredicate
+
+    def atoms(self):
+        yield self.predicate
+
+    def __str__(self):
+        return str(self.predicate)
+
+
+@dataclass(frozen=True)
+class EpsilonRE(PathRegex):
+    def atoms(self):
+        return iter(())
+
+    def __str__(self):
+        return "()"
+
+
+@dataclass(frozen=True)
+class ConcatRE(PathRegex):
+    left: PathRegex
+    right: PathRegex
+
+    def atoms(self):
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def __str__(self):
+        return f"{self.left}.{self.right}"
+
+
+@dataclass(frozen=True)
+class AltRE(PathRegex):
+    left: PathRegex
+    right: PathRegex
+
+    def atoms(self):
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def __str__(self):
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True)
+class StarRE(PathRegex):
+    inner: PathRegex
+
+    def atoms(self):
+        yield from self.inner.atoms()
+
+    def __str__(self):
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class PlusRE(PathRegex):
+    inner: PathRegex
+
+    def atoms(self):
+        yield from self.inner.atoms()
+
+    def __str__(self):
+        return f"({self.inner})+"
+
+
+@dataclass(frozen=True)
+class OptRE(PathRegex):
+    inner: PathRegex
+
+    def atoms(self):
+        yield from self.inner.atoms()
+
+    def __str__(self):
+        return f"({self.inner})?"
+
+
+# ---------------------------------------------------------------------------
+# Parser.
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on malformed path-regex text."""
+
+
+_TYPE_TESTS = {
+    "int": LabelKind.INT,
+    "real": LabelKind.REAL,
+    "string": LabelKind.STRING,
+    "bool": LabelKind.BOOL,
+    "symbol": LabelKind.SYMBOL,
+}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- lexing helpers -------------------------------------------------------
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, expected: str | None = None) -> str:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise RegexSyntaxError(f"unexpected end of pattern in {self.text!r}")
+        ch = self.text[self.pos]
+        if expected is not None and ch != expected:
+            raise RegexSyntaxError(
+                f"expected {expected!r} at position {self.pos} in {self.text!r}, got {ch!r}"
+            )
+        self.pos += 1
+        return ch
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> PathRegex:
+        node = self.alt()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise RegexSyntaxError(
+                f"trailing input at position {self.pos} in {self.text!r}"
+            )
+        return node
+
+    def alt(self) -> PathRegex:
+        node = self.seq()
+        while self.peek() == "|":
+            self.take("|")
+            node = AltRE(node, self.seq())
+        return node
+
+    def seq(self) -> PathRegex:
+        node = self.rep()
+        while self.peek() == ".":
+            self.take(".")
+            node = ConcatRE(node, self.rep())
+        return node
+
+    def rep(self) -> PathRegex:
+        node = self.atom()
+        ch = self.peek()
+        if ch == "*":
+            self.take()
+            return StarRE(node)
+        if ch == "+":
+            self.take()
+            return PlusRE(node)
+        if ch == "?":
+            self.take()
+            return OptRE(node)
+        return node
+
+    def atom(self) -> PathRegex:
+        ch = self.peek()
+        if not ch:
+            raise RegexSyntaxError(f"unexpected end of pattern in {self.text!r}")
+        if ch == "(":
+            self.take("(")
+            if self.peek() == ")":
+                self.take(")")
+                return EpsilonRE()
+            node = self.alt()
+            self.take(")")
+            return node
+        if ch == "_":
+            self.take()
+            return AtomRE(any_label())
+        if ch == "#":
+            self.take()
+            return StarRE(AtomRE(any_label()))
+        if ch == "!":
+            self.take()
+            inner = self.atom()
+            if not isinstance(inner, AtomRE):
+                raise RegexSyntaxError("'!' applies to a single label atom")
+            return AtomRE(negated(inner.predicate))
+        if ch == '"' or ch == "'":
+            return AtomRE(self._string_atom())
+        if ch == "`":
+            return AtomRE(self._backquoted_symbol())
+        if ch == "<":
+            return AtomRE(self._type_atom())
+        if ch.isdigit() or ch == "-":
+            return AtomRE(self._number_atom())
+        if ch.isalpha() or ch in "%@":
+            return AtomRE(self._name_atom())
+        raise RegexSyntaxError(
+            f"unexpected character {ch!r} at position {self.pos} in {self.text!r}"
+        )
+
+    def _string_atom(self) -> LabelPredicate:
+        quote = self.take()
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                raise RegexSyntaxError(f"unterminated string in {self.text!r}")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == quote:
+                break
+            if ch == "\\" and self.pos < len(self.text):
+                ch = self.text[self.pos]
+                self.pos += 1
+            out.append(ch)
+        text = "".join(out)
+        if "%" in text:
+            return glob_string(text)
+        from ..core.labels import string as string_label
+
+        return exact(string_label(text))
+
+    def _backquoted_symbol(self) -> LabelPredicate:
+        """A symbol in backquotes: allows spaces etc. (e.g. ```TV Show```)."""
+        self.take("`")
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                raise RegexSyntaxError(f"unterminated `symbol` in {self.text!r}")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == "`":
+                break
+            out.append(ch)
+        name = "".join(out)
+        if "%" in name:
+            return glob_symbol(name)
+        return exact(sym(name))
+
+    def _type_atom(self) -> LabelPredicate:
+        self.take("<")
+        name = []
+        while self.peek() != ">":
+            name.append(self.take())
+        self.take(">")
+        key = "".join(name).strip().lower()
+        if key not in _TYPE_TESTS:
+            raise RegexSyntaxError(f"unknown type test <{key}>")
+        return type_test(_TYPE_TESTS[key])
+
+    def _number_atom(self) -> LabelPredicate:
+        start = self.pos
+        if self.peek() == "-":
+            self.take()
+        seen_dot = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif (
+                ch == "."
+                and not seen_dot
+                and self.pos + 1 < len(self.text)
+                and self.text[self.pos + 1].isdigit()
+            ):
+                # A dot is consumed into the number only when digits
+                # follow (at most once): `2.5` is the real 2.5, while in
+                # `ByYear.1942.Title` the second dot separates steps.
+                # `Episode.1.2` therefore reads as the real 1.2 -- write
+                # `Episode.(1).(2)` to force two integer steps.
+                seen_dot = True
+                self.pos += 1
+            else:
+                break
+        text = self.text[start : self.pos]
+        if not text or text == "-":
+            raise RegexSyntaxError(f"bad number at position {start} in {self.text!r}")
+        if "." in text:
+            return exact(float(text))
+        return exact(int(text))
+
+    def _name_atom(self) -> LabelPredicate:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_%@-"
+        ):
+            self.pos += 1
+        name = self.text[start : self.pos]
+        if "%" in name:
+            return glob_symbol(name)
+        return exact(sym(name))
+
+
+def parse_path_regex(text: str) -> PathRegex:
+    """Parse the textual grammar into a :class:`PathRegex` AST."""
+    return _Parser(text).parse()

@@ -1,0 +1,144 @@
+"""Schema-free browsing queries (section 1.3).
+
+The tutorial motivates semistructured query languages with three questions
+that "cannot be answered in any generic fashion by standard relational or
+object-oriented query languages":
+
+* Where in the database is the string ``"Casablanca"`` to be found?
+* Are there integers in the database greater than 2^16?
+* What objects in the database have an attribute name that starts with
+  ``"act"``?
+
+Each query has a *scan* implementation (single pass over the reachable
+graph -- always available) and an *indexed* implementation driven by
+:class:`~repro.index.GraphIndexes`; experiment E1 measures the gap.  All
+three return :class:`Finding` records that include a shortest label path
+from the root, because "where is it" is only answered by a path the user
+can follow.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+from ..core.graph import Edge, Graph
+from ..core.labels import Label, string
+from ..index import GraphIndexes
+
+__all__ = [
+    "Finding",
+    "find_value",
+    "find_integers_greater_than",
+    "find_attribute_names",
+    "where_is",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One browsing hit: the edge that matched and how to reach it."""
+
+    edge: Edge
+    path: tuple[Label, ...]
+
+    def __str__(self) -> str:
+        spelled = ".".join(str(lab) for lab in self.path + (self.edge.label,))
+        return spelled or str(self.edge.label)
+
+
+def _shortest_paths_to_nodes(graph: Graph, targets: set[int]) -> dict[int, tuple[Label, ...]]:
+    """One BFS from the root giving a shortest label path to each target."""
+    paths: dict[int, tuple[Label, ...]] = {graph.root: ()}
+    pending = set(targets) - {graph.root}
+    queue = [graph.root]
+    while queue and pending:
+        nxt: list[int] = []
+        for node in queue:
+            for edge in graph.edges_from(node):
+                if edge.dst not in paths:
+                    paths[edge.dst] = paths[node] + (edge.label,)
+                    pending.discard(edge.dst)
+                    nxt.append(edge.dst)
+        queue = nxt
+    return paths
+
+
+def _attach_paths(graph: Graph, edges: list[Edge]) -> list[Finding]:
+    paths = _shortest_paths_to_nodes(graph, {e.src for e in edges})
+    findings = [Finding(e, paths.get(e.src, ())) for e in edges]
+    findings.sort(key=lambda f: (len(f.path), f.edge.src, f.edge.dst))
+    return findings
+
+
+def find_value(
+    graph: Graph, value: "str | int | float | bool", indexes: GraphIndexes | None = None
+) -> list[Finding]:
+    """Where in the database is this value?  (First browsing query.)
+
+    Matches base-data labels equal to ``value``; strings only match string
+    labels (never symbols -- attribute names are a different question).
+    """
+    from ..core.labels import label_of
+
+    target = string(value) if isinstance(value, str) else label_of(value)
+    if indexes is not None:
+        edges = list(indexes.value.find_exact(target))
+    else:
+        edges = [
+            e
+            for n in graph.reachable()
+            for e in graph.edges_from(n)
+            if e.label == target
+        ]
+    return _attach_paths(graph, edges)
+
+
+def find_integers_greater_than(
+    graph: Graph, bound: int, indexes: GraphIndexes | None = None
+) -> list[Finding]:
+    """Are there integers in the database greater than ``bound``?
+
+    (The paper's example bound is 2^16.)  Only *int* labels are reported;
+    reals are a different kind in the tagged union.
+    """
+    if indexes is not None:
+        edges = [
+            e for e in indexes.value.numbers_greater_than(bound) if e.label.is_int
+        ]
+    else:
+        edges = [
+            e
+            for n in graph.reachable()
+            for e in graph.edges_from(n)
+            if e.label.is_int and e.label.value > bound
+        ]
+    return _attach_paths(graph, edges)
+
+
+def find_attribute_names(
+    graph: Graph, pattern: str, indexes: GraphIndexes | None = None
+) -> list[Finding]:
+    """What objects have an attribute name matching ``pattern``?
+
+    ``pattern`` uses ``%`` wildcards; the paper's example is ``act%``.
+    Returns one finding per matching *edge* (the object is the edge's
+    source; its path locates it).
+    """
+    glob = pattern.replace("%", "*")
+    if indexes is not None:
+        labels = indexes.label.symbols_matching(pattern)
+        edges = [e for lab in labels for e in indexes.label.edges_with_label(lab)]
+    else:
+        edges = [
+            e
+            for n in graph.reachable()
+            for e in graph.edges_from(n)
+            if e.label.is_symbol and fnmatch.fnmatchcase(str(e.label.value), glob)
+        ]
+    return _attach_paths(graph, edges)
+
+
+def where_is(graph: Graph, value: "str | int | float | bool") -> list[str]:
+    """Human-oriented wrapper: dotted path strings for :func:`find_value`."""
+    return [str(f) for f in find_value(graph, value)]

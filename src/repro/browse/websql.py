@@ -1,0 +1,115 @@
+"""A WebSQL-flavoured dialect for web-shaped graphs (section 3, [29]).
+
+The paper lists WebSQL (Mendelzon-Mihaila-Milo) among the SQL-like
+languages, "with a number of constructs specific to web queries".  This
+module provides the recognizable core over the synthetic web graphs of
+:mod:`repro.datasets.webgraph`:
+
+    SELECT d.url, d.title
+    FROM Document d SUCH THAT "link*.link"
+    WHERE d.title CONTAINS "database"
+
+* the ``SUCH THAT`` path regex selects documents by link structure
+  (evaluated with the shared RPQ product, so cycles are fine);
+* attributes are the scalar children of a document node;
+* ``CONTAINS`` is the IR-style word test of
+  :mod:`repro.index.text_index`, the paper's nod to information
+  retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.product import rpq_nodes
+from ..core.graph import Graph
+from ..core.labels import sym
+from ..index.text_index import tokenize
+
+__all__ = ["websql", "WebSqlError", "WebSqlQuery", "parse_websql"]
+
+
+class WebSqlError(ValueError):
+    """Raised on malformed WebSQL text."""
+
+
+@dataclass(frozen=True)
+class WebSqlQuery:
+    attributes: tuple[str, ...]
+    alias: str
+    path: str
+    contains_attr: "str | None" = None
+    contains_word: "str | None" = None
+
+
+def parse_websql(text: str) -> WebSqlQuery:
+    """Parse the dialect's fixed shape (keywords are case-insensitive)."""
+    tokens = text.replace(",", " , ").split()
+    lowered = [t.lower() for t in tokens]
+
+    def find(word: str) -> int:
+        try:
+            return lowered.index(word)
+        except ValueError:
+            raise WebSqlError(f"missing keyword {word.upper()!r}") from None
+
+    sel, frm = find("select"), find("from")
+    attrs = []
+    alias_dot = None
+    for token in tokens[sel + 1 : frm]:
+        if token == ",":
+            continue
+        if "." not in token:
+            raise WebSqlError(f"projection {token!r} must be alias.attribute")
+        alias, attr = token.split(".", 1)
+        if alias_dot is None:
+            alias_dot = alias
+        elif alias != alias_dot:
+            raise WebSqlError("a single document alias is supported")
+        attrs.append(attr)
+    if not attrs:
+        raise WebSqlError("empty projection")
+    if lowered[frm + 1] != "document":
+        raise WebSqlError("FROM must name the Document collection")
+    alias = tokens[frm + 2]
+    if lowered[frm + 3 : frm + 5] != ["such", "that"]:
+        raise WebSqlError("expected SUCH THAT after the alias")
+    path_token = tokens[frm + 5]
+    if not (path_token.startswith('"') and path_token.endswith('"')):
+        raise WebSqlError("the SUCH THAT path must be double-quoted")
+    path = path_token[1:-1]
+    contains_attr = contains_word = None
+    if "where" in lowered:
+        wh = find("where")
+        operand = tokens[wh + 1]
+        if lowered[wh + 2] != "contains":
+            raise WebSqlError("only CONTAINS predicates are supported")
+        word_token = tokens[wh + 3]
+        if "." not in operand:
+            raise WebSqlError("WHERE operand must be alias.attribute")
+        _, contains_attr = operand.split(".", 1)
+        contains_word = word_token.strip('"')
+    return WebSqlQuery(tuple(attrs), alias, path, contains_attr, contains_word)
+
+
+def websql(text: str, web: Graph) -> list[dict[str, list[object]]]:
+    """Run a WebSQL query; one result dict per matched document."""
+    query = parse_websql(text)
+    results = []
+    for doc in sorted(rpq_nodes(web, query.path)):
+        record: dict[str, list[object]] = {}
+        for edge in web.edges_from(doc):
+            if not edge.label.is_symbol:
+                continue
+            name = str(edge.label.value)
+            for inner in web.edges_from(edge.dst):
+                if inner.label.is_base:
+                    record.setdefault(name, []).append(inner.label.value)
+        if query.contains_attr is not None:
+            haystack = " ".join(
+                str(v) for v in record.get(query.contains_attr, ())
+            )
+            if query.contains_word.lower() not in tokenize(haystack):
+                continue
+        results.append({a: record.get(a, []) for a in query.attributes})
+    return results

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A small working surface over the library for shell use:
+
+* ``render FILE``                 -- pretty-print a database
+* ``dot FILE``                    -- emit Graphviz DOT
+* ``query FILE QUERY``            -- run a UnQL query (result rendered)
+* ``lorel FILE QUERY``            -- run a Lorel query (rows printed)
+* ``datalog FILE PROGRAM PRED``   -- run a datalog program, print one predicate
+* ``find FILE VALUE``             -- the section-1.3 "where is it" query
+* ``paths FILE [DEPTH]``          -- DataGuide path vocabulary
+* ``schema FILE``                 -- infer and describe a schema
+* ``stats FILE``                  -- node/edge/label statistics
+
+``FILE`` is JSON (self-describing nested data, loaded via
+:func:`repro.core.builder.from_obj`) or a binary ``.ssd`` graph written by
+:mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .browse import where_is
+from .core.builder import from_obj, render
+from .core.convert import graph_to_oem
+from .core.graph import Graph, to_dot
+from .core.labels import LabelKind
+from .datalog import run_on_graph
+from .lorel import lorel, lorel_rows
+from .schema.dataguide import DataGuide
+from .schema.inference import infer_schema
+from .storage import loads
+from .unql import unql
+
+__all__ = ["main"]
+
+
+def load_database(path: "str | Path") -> Graph:
+    """Load a database file: `.ssd` binary graphs or JSON text."""
+    raw = Path(path).read_bytes()
+    if raw[:4] == b"SSD1":
+        return loads(raw)
+    return from_obj(json.loads(raw.decode("utf-8")))
+
+
+def _cmd_render(args) -> int:
+    print(render(load_database(args.file), max_depth=args.depth))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    print(to_dot(load_database(args.file)))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    result = unql(args.query, db=load_database(args.file))
+    print(render(result))
+    return 0
+
+
+def _cmd_lorel(args) -> int:
+    db = graph_to_oem(load_database(args.file))
+    for i, row in enumerate(lorel_rows(lorel(args.query, db))):
+        print(f"row {i}: {row}")
+    return 0
+
+
+def _cmd_datalog(args) -> int:
+    program = Path(args.program).read_text(encoding="utf-8")
+    rows = run_on_graph(program, load_database(args.file), args.predicate)
+    for row in sorted(rows, key=repr):
+        print(row)
+    print(f"({len(rows)} facts)", file=sys.stderr)
+    return 0
+
+
+def _cmd_traverse(args) -> int:
+    from .unql import traverse
+
+    result = traverse(args.statement, db=load_database(args.file))
+    print(render(result))
+    return 0
+
+
+def _cmd_find(args) -> int:
+    value: object = args.value
+    try:
+        value = json.loads(args.value)
+    except json.JSONDecodeError:
+        pass  # treat as a plain string
+    hits = where_is(load_database(args.file), value)
+    for hit in hits:
+        print(hit)
+    return 0 if hits else 1
+
+
+def _cmd_paths(args) -> int:
+    guide = DataGuide(load_database(args.file))
+    for path in guide.all_paths(args.depth):
+        if path:
+            print(".".join(str(lab) for lab in path))
+    return 0
+
+
+def _cmd_schema(args) -> int:
+    g = load_database(args.file)
+    schema = infer_schema(g)
+    print(
+        f"inferred schema: {schema.num_nodes} nodes, {schema.num_edges} "
+        f"predicate edges (database: {g.num_nodes} nodes)"
+    )
+    for node in schema.nodes():
+        for edge in schema.edges_from(node):
+            print(f"  s{edge.src} --[{edge.predicate}]--> s{edge.dst}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    g = load_database(args.file)
+    print(f"nodes:  {g.num_nodes}")
+    print(f"edges:  {g.num_edges}")
+    print(f"cyclic: {g.has_cycle()}")
+    by_kind: dict[str, int] = {}
+    for edge in g.edges():
+        by_kind[edge.label.kind.value] = by_kind.get(edge.label.kind.value, 0) + 1
+    for kind in LabelKind:
+        if kind.value in by_kind:
+            print(f"labels[{kind.value}]: {by_kind[kind.value]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semistructured data toolkit (Buneman, PODS 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("render", help="pretty-print a database")
+    p.add_argument("file")
+    p.add_argument("--depth", type=int, default=12)
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser("query", help="run a UnQL query")
+    p.add_argument("file")
+    p.add_argument("query")
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("lorel", help="run a Lorel query")
+    p.add_argument("file")
+    p.add_argument("query")
+    p.set_defaults(fn=_cmd_lorel)
+
+    p = sub.add_parser("datalog", help="run a datalog program")
+    p.add_argument("file")
+    p.add_argument("program", help="path to a .dl file")
+    p.add_argument("predicate", help="predicate whose facts to print")
+    p.set_defaults(fn=_cmd_datalog)
+
+    p = sub.add_parser("traverse", help="restructure: replace/delete/collapse/shortcut")
+    p.add_argument("file")
+    p.add_argument("statement", help='e.g. "traverse db replace Movie => Film"')
+    p.set_defaults(fn=_cmd_traverse)
+
+    p = sub.add_parser("find", help="where is this value? (section 1.3)")
+    p.add_argument("file")
+    p.add_argument("value")
+    p.set_defaults(fn=_cmd_find)
+
+    p = sub.add_parser("paths", help="DataGuide path vocabulary")
+    p.add_argument("file")
+    p.add_argument("depth", type=int, nargs="?", default=4)
+    p.set_defaults(fn=_cmd_paths)
+
+    p = sub.add_parser("schema", help="infer a graph schema")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_schema)
+
+    p = sub.add_parser("stats", help="database statistics")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_stats)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except Exception as exc:  # surface library errors as clean CLI errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,150 @@
+"""Mappings between the model variants of section 2.
+
+The paper: *"The differences between the two models are minor and give rise
+to minor differences in the query language.  It is easy to define mappings
+in both directions."*  This module provides those mappings:
+
+* :func:`oem_to_graph` / :func:`graph_to_oem` between the leaf-value OEM
+  model (:mod:`repro.core.oem`) and the UnQL edge-labeled model
+  (:mod:`repro.core.graph`);
+* the node-labeled conversions live in :mod:`repro.core.node_labeled`.
+
+The OEM->graph direction is the one spelled out by the SIGMOD '96 paper the
+tutorial cites: an atomic object ``v`` becomes the singleton tree
+``{v: {}}``; a complex object becomes a node with one symbol edge per
+child.  The reverse direction must handle base-labeled edges whose targets
+are not leaves (legal in the UnQL model, impossible in OEM); these are
+wrapped under reserved ``@data`` / ``@label`` / ``@tree`` symbols so the
+mapping stays total and invertible -- round-trip fidelity is property-
+tested up to bisimulation.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .labels import Label, label_of, sym
+from .oem import OemDatabase, Oid
+
+__all__ = ["oem_to_graph", "graph_to_oem", "DATA_MARKER", "LABEL_MARKER", "TREE_MARKER"]
+
+#: Reserved symbols used to embed non-OEM-expressible edges into OEM.
+DATA_MARKER = "@data"
+LABEL_MARKER = "@label"
+TREE_MARKER = "@tree"
+
+
+def oem_to_graph(db: OemDatabase, name: str | None = None) -> Graph:
+    """Encode (the reachable part of) an OEM database as an edge-labeled graph.
+
+    ``name`` selects the entry point; with several names and ``name=None``
+    a synthetic root carries one symbol edge per entry name, which is how
+    Lorel presents multi-name databases to path expressions.
+    """
+    g = Graph()
+    memo: dict[Oid, int] = {}
+
+    def conv(oid: Oid) -> int:
+        if oid in memo:
+            return memo[oid]
+        node = g.new_node()
+        memo[oid] = node
+        obj = db.get(oid)
+        if obj.is_atomic:
+            leaf = g.new_node()
+            g.add_edge(node, label_of(obj.atom), leaf)
+        else:
+            for label, child in obj.children:
+                if label == DATA_MARKER:
+                    # unwrap the reserved embedding of graph_to_oem: an
+                    # atomic @data child was a bare base-labeled edge; a
+                    # complex one carries @label/@tree.
+                    child_obj = db.get(child)
+                    if child_obj.is_atomic:
+                        leaf = g.new_node()
+                        g.add_edge(node, label_of(child_obj.atom), leaf)
+                        continue
+                    wrapped = _unwrap_marker(db, child_obj)
+                    if wrapped is not None:
+                        value, subtree_oid = wrapped
+                        g.add_edge(node, label_of(value), conv(subtree_oid))
+                        continue
+                g.add_edge(node, sym(label), conv(child))
+        return node
+
+    if name is not None:
+        g.set_root(conv(db.lookup_name(name)))
+        return g
+    names = db.names
+    if len(names) == 1:
+        ((_, oid),) = names.items()
+        g.set_root(conv(oid))
+        return g
+    root = g.new_node()
+    g.set_root(root)
+    for entry, oid in sorted(names.items()):
+        g.add_edge(root, sym(entry), conv(oid))
+    return g
+
+
+def _unwrap_marker(db: OemDatabase, obj) -> "tuple[object, Oid] | None":
+    """Decode a complex ``@data`` wrapper: (@label scalar, @tree oid)."""
+    label_value = None
+    tree_oid = None
+    for child_label, child_oid in obj.children:
+        if child_label == LABEL_MARKER and db.get(child_oid).is_atomic:
+            label_value = db.get(child_oid).atom
+        elif child_label == TREE_MARKER:
+            tree_oid = child_oid
+        else:
+            return None
+    if label_value is None or tree_oid is None:
+        return None
+    return label_value, tree_oid
+
+
+def graph_to_oem(graph: Graph, name: str = "DB") -> OemDatabase:
+    """Encode an edge-labeled graph as an OEM database rooted at ``name``.
+
+    Sharing and cycles are preserved: each graph node maps to exactly one
+    oid, which is the whole point of OEM's "object identities as
+    place-holders" (section 2).  Pure OEM-shaped graphs (symbol edges,
+    scalars as ``{v: {}}``) round-trip without markers; other base-labeled
+    edges are wrapped as described in the module docstring.
+    """
+    db = OemDatabase()
+    memo: dict[int, Oid] = {}
+
+    def is_scalar_node(node: int) -> Label | None:
+        """If the node encodes exactly one scalar ``{v: {}}``, return v's label."""
+        edges = graph.edges_from(node)
+        if len(edges) == 1 and edges[0].label.is_base and graph.out_degree(edges[0].dst) == 0:
+            return edges[0].label
+        return None
+
+    def conv(node: int) -> Oid:
+        if node in memo:
+            return memo[node]
+        scalar = is_scalar_node(node)
+        if scalar is not None:
+            oid = db.new_atomic(scalar.value)
+            memo[node] = oid
+            return oid
+        oid = db.new_complex()
+        memo[node] = oid
+        for edge in graph.edges_from(node):
+            if edge.label.is_symbol:
+                db.add_child(oid, str(edge.label.value), conv(edge.dst))
+            elif graph.out_degree(edge.dst) == 0:
+                # A base-data edge to a leaf among other edges: keep the
+                # value as an atomic child under the reserved marker.
+                db.add_child(oid, DATA_MARKER, db.new_atomic(edge.label.value))
+            else:
+                # Base-data edge with a real subtree: wrap label and tree.
+                wrapper = db.new_complex()
+                db.add_child(wrapper, LABEL_MARKER, db.new_atomic(edge.label.value))
+                db.add_child(wrapper, TREE_MARKER, conv(edge.dst))
+                db.add_child(oid, DATA_MARKER, wrapper)
+        return oid
+
+    db.set_name(name, conv(graph.root))
+    return db

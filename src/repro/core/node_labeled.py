@@ -1,0 +1,173 @@
+"""The node-labeled model variant and its reduction to edge labels.
+
+Section 2's third variant labels internal nodes as well as edges::
+
+    type base = int | string | ... | symbol
+    type tree = label * set(label * tree)
+
+The paper observes: *"The problem with using this representation directly is
+that it makes the operation of taking the union of two trees difficult to
+define.  However, by introducing extra edges, this representation can be
+converted into one of the edge-labelled representations above."*
+
+:class:`NodeLabeledGraph` implements the variant directly (so the difficulty
+is demonstrable -- see :meth:`union`, which must invent a node label), and
+:func:`to_edge_labeled` / :func:`from_edge_labeled` implement the conversion
+by the extra-edge trick: a node labeled ``l`` gains a distinguished
+``@node-label`` edge to a leaf reached by an ``l`` edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import Graph
+from .labels import Label, label_of, sym
+
+__all__ = [
+    "NodeLabeledGraph",
+    "NLEdge",
+    "to_edge_labeled",
+    "from_edge_labeled",
+    "NODE_LABEL_MARKER",
+]
+
+#: The marker symbol introduced by the conversion ("extra edges").
+NODE_LABEL_MARKER = sym("@node-label")
+
+
+@dataclass(frozen=True, slots=True)
+class NLEdge:
+    src: int
+    label: Label
+    dst: int
+
+
+class NodeLabeledGraph:
+    """A rooted graph with labels on both nodes and edges."""
+
+    def __init__(self) -> None:
+        self._node_labels: dict[int, Label | None] = {}
+        self._adj: dict[int, list[NLEdge]] = {}
+        self._root: int | None = None
+        self._next = 0
+
+    def new_node(self, label: Label | str | int | float | bool | None = None) -> int:
+        node = self._next
+        self._next += 1
+        if label is None:
+            lab = None
+        elif isinstance(label, str):
+            lab = sym(label)
+        else:
+            lab = label_of(label)
+        self._node_labels[node] = lab
+        self._adj[node] = []
+        return node
+
+    def add_edge(self, src: int, label: Label | str | int | float | bool, dst: int) -> None:
+        lab = sym(label) if isinstance(label, str) else label_of(label)
+        self._adj[src].append(NLEdge(src, lab, dst))
+
+    def set_root(self, node: int) -> None:
+        self._root = node
+
+    @property
+    def root(self) -> int:
+        if self._root is None:
+            raise ValueError("node-labeled graph has no root")
+        return self._root
+
+    def node_label(self, node: int) -> Label | None:
+        return self._node_labels[node]
+
+    def edges_from(self, node: int) -> tuple[NLEdge, ...]:
+        return tuple(self._adj[node])
+
+    def nodes(self):
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def union(self, other: "NodeLabeledGraph") -> "NodeLabeledGraph":
+        """Union of two node-labeled trees -- the awkward operation.
+
+        The fresh root needs a node label, but there is no canonical choice
+        when the operands' root labels differ; this implementation keeps a
+        shared label when the operands agree and drops to ``None``
+        otherwise, *losing information*.  This is the concrete defect the
+        paper alludes to, and the round-trip tests document it.
+        """
+        out = NodeLabeledGraph()
+        la, lb = self._node_labels[self.root], other._node_labels[other.root]
+        root = out.new_node(la if la == lb else None)
+        out.set_root(root)
+        for operand in (self, other):
+            mapping = {operand.root: root}
+            for node in operand._adj:
+                if node != operand.root:
+                    mapping[node] = out.new_node(operand._node_labels[node])
+            for edges in operand._adj.values():
+                for e in edges:
+                    out.add_edge(mapping[e.src], e.label, mapping[e.dst])
+        return out
+
+
+def to_edge_labeled(nl: NodeLabeledGraph) -> Graph:
+    """Convert by introducing extra edges, as the paper prescribes.
+
+    A node with label ``l`` gets an extra edge ``@node-label`` to a fresh
+    node that has a single ``l`` edge to a leaf.  The encoding is injective
+    (up to isomorphism), so :func:`from_edge_labeled` can invert it.
+    """
+    g = Graph()
+    mapping = {node: g.new_node() for node in nl.nodes()}
+    g.set_root(mapping[nl.root])
+    for node in nl.nodes():
+        lab = nl.node_label(node)
+        if lab is not None:
+            holder = g.new_node()
+            leaf = g.new_node()
+            g.add_edge(mapping[node], NODE_LABEL_MARKER, holder)
+            g.add_edge(holder, lab, leaf)
+        for e in nl.edges_from(node):
+            g.add_edge(mapping[node], e.label, mapping[e.dst])
+    return g
+
+
+def from_edge_labeled(g: Graph) -> NodeLabeledGraph:
+    """Invert :func:`to_edge_labeled` on its image.
+
+    Edges labeled ``@node-label`` are folded back into node labels; all
+    other edges are copied verbatim.  On graphs outside the image the
+    result simply has unlabeled nodes.
+    """
+    nl = NodeLabeledGraph()
+    reach = g.reachable()
+    # First pass: find node labels and which helper nodes to skip.
+    labels: dict[int, Label] = {}
+    helpers: set[int] = set()
+    for node in reach:
+        for edge in g.edges_from(node):
+            if edge.label == NODE_LABEL_MARKER:
+                holder_edges = g.edges_from(edge.dst)
+                if len(holder_edges) == 1 and g.out_degree(holder_edges[0].dst) == 0:
+                    labels[node] = holder_edges[0].label
+                    helpers.add(edge.dst)
+                    helpers.add(holder_edges[0].dst)
+    mapping: dict[int, int] = {}
+    for node in sorted(reach):
+        if node in helpers:
+            continue
+        mapping[node] = nl.new_node(labels.get(node))
+    nl.set_root(mapping[g.root])
+    for node in sorted(reach):
+        if node in helpers:
+            continue
+        for edge in g.edges_from(node):
+            if edge.label == NODE_LABEL_MARKER and edge.dst in helpers:
+                continue
+            nl.add_edge(mapping[node], edge.label, mapping[edge.dst])
+    return nl

@@ -1,0 +1,206 @@
+"""Encoding object-oriented databases into the semistructured model.
+
+Section 2: *"It is straightforward to encode relational and object-oriented
+databases in this model, although in the latter case one must take care to
+deal with the issue of object-identity.  However, the coding is not
+unique..."*
+
+This module defines a miniature ODMG-style object database -- classes,
+typed attributes, object identity, and (possibly cyclic) references -- and
+the encoding into the edge-labeled graph.  Object identity is handled the
+way the paper requires: references become *shared subgraphs* (one graph
+node per object), so identity is preserved exactly as far as it is
+observable, i.e. up to bisimulation.  The decoder reconstructs objects and
+re-discovers identity from sharing, and the round trip is tested on cyclic
+instances (e.g. the mutually-referencing movie entries of Figure 1).
+
+The relational encoding lives with the relational substrate in
+:mod:`repro.relational.encode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .graph import Graph
+from .labels import label_of, sym
+
+__all__ = ["OoClass", "OoObject", "OoDatabase", "oo_to_graph", "graph_to_oo"]
+
+AttrValue = Union[int, float, str, bool, "OoObject", list]
+
+#: Reserved edge symbols of the encoding.
+CLASS_MARKER = "@class"
+EXTENT_MARKER = "extent"
+
+
+@dataclass(frozen=True)
+class OoClass:
+    """A class: a name plus the declared attribute names.
+
+    The declaration is deliberately loose (no attribute types): ACeDB-style
+    schemas "impose only loose constraints on the data", and the encoding
+    must survive objects that do not fill every slot.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+
+
+@dataclass(eq=False)
+class OoObject:
+    """An object with identity.  Equality is identity (``is``), as in ODMG."""
+
+    cls: OoClass
+    values: dict[str, AttrValue] = field(default_factory=dict)
+
+    def set(self, attr: str, value: AttrValue) -> "OoObject":
+        if attr not in self.cls.attributes:
+            raise ValueError(f"class {self.cls.name} has no attribute {attr!r}")
+        self.values[attr] = value
+        return self
+
+
+class OoDatabase:
+    """A set of class extents: ``class name -> list of objects``."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, OoClass] = {}
+        self.extents: dict[str, list[OoObject]] = {}
+
+    def define_class(self, name: str, attributes: tuple[str, ...]) -> OoClass:
+        cls = OoClass(name, attributes)
+        self.classes[name] = cls
+        self.extents[name] = []
+        return cls
+
+    def new_object(self, cls: OoClass) -> OoObject:
+        obj = OoObject(cls)
+        self.extents[cls.name].append(obj)
+        return obj
+
+    def all_objects(self) -> list[OoObject]:
+        return [obj for extent in self.extents.values() for obj in extent]
+
+
+def oo_to_graph(db: OoDatabase) -> Graph:
+    """Encode the OO database as one rooted edge-labeled graph.
+
+    Layout (one of the non-unique codings the paper mentions; this one
+    follows the class-extent style of the examples in [10])::
+
+        root --<ClassName>--> extent-node --member--> object-node
+        object-node --@class--> {ClassName: {}}
+        object-node --<attr>--> encoded value
+
+    Scalars are encoded as ``{v: {}}`` singletons; object references reuse
+    the target's graph node, preserving identity through sharing.
+    """
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+    object_node: dict[int, int] = {}
+
+    def encode_object(obj: OoObject) -> int:
+        key = id(obj)
+        if key in object_node:
+            return object_node[key]
+        node = g.new_node()
+        object_node[key] = node
+        marker = g.new_node()
+        leaf = g.new_node()
+        g.add_edge(node, sym(CLASS_MARKER), marker)
+        g.add_edge(marker, sym(obj.cls.name), leaf)
+        for attr in obj.cls.attributes:
+            if attr not in obj.values:
+                continue  # loosely-constrained data: missing slots are fine
+            g.add_edge(node, sym(attr), encode_value(obj.values[attr]))
+        return node
+
+    def encode_value(value: AttrValue) -> int:
+        if isinstance(value, OoObject):
+            return encode_object(value)
+        if isinstance(value, list):
+            holder = g.new_node()
+            for i, item in enumerate(value, start=1):
+                g.add_edge(holder, label_of(i), encode_value(item))
+            return holder
+        node = g.new_node()
+        leaf = g.new_node()
+        g.add_edge(node, label_of(value), leaf)
+        return node
+
+    for name in sorted(db.extents):
+        extent_node = g.new_node()
+        g.add_edge(root, sym(name), extent_node)
+        for obj in db.extents[name]:
+            g.add_edge(extent_node, sym("member"), encode_object(obj))
+    return g
+
+
+def graph_to_oo(graph: Graph) -> OoDatabase:
+    """Decode a graph produced by :func:`oo_to_graph` back into objects.
+
+    Identity is recovered from node sharing: two references decode to the
+    same :class:`OoObject` iff they point at the same graph node, which is
+    exactly the observable content of object identity.
+    """
+    db = OoDatabase()
+    decoded: dict[int, OoObject] = {}
+
+    def class_of(node: int) -> str:
+        for edge in graph.edges_from(node):
+            if edge.label == sym(CLASS_MARKER):
+                inner = graph.edges_from(edge.dst)
+                if len(inner) == 1 and inner[0].label.is_symbol:
+                    return str(inner[0].label.value)
+        raise ValueError(f"node {node} carries no @class marker")
+
+    def decode_value(node: int):
+        edges = graph.edges_from(node)
+        if any(e.label == sym(CLASS_MARKER) for e in edges):
+            return decode_object(node)
+        if len(edges) == 1 and edges[0].label.is_base and graph.out_degree(edges[0].dst) == 0:
+            return edges[0].label.value
+        if edges and all(e.label.is_int for e in edges):
+            ordered = sorted(edges, key=lambda e: e.label.value)
+            return [decode_value(e.dst) for e in ordered]
+        raise ValueError(f"node {node} is not a value encoding")
+
+    def decode_object(node: int) -> OoObject:
+        if node in decoded:
+            return decoded[node]
+        cname = class_of(node)
+        attrs = tuple(
+            str(e.label.value)
+            for e in graph.edges_from(node)
+            if e.label.is_symbol and str(e.label.value) != CLASS_MARKER
+        )
+        if cname not in db.classes:
+            db.define_class(cname, attrs)
+        else:
+            known = db.classes[cname].attributes
+            merged = known + tuple(a for a in attrs if a not in known)
+            if merged != known:
+                db.classes[cname] = OoClass(cname, merged)
+        obj = OoObject(db.classes[cname])
+        decoded[node] = obj
+        db.extents.setdefault(cname, []).append(obj)
+        for edge in graph.edges_from(node):
+            if not edge.label.is_symbol or str(edge.label.value) == CLASS_MARKER:
+                continue
+            obj.values[str(edge.label.value)] = decode_value(edge.dst)
+        return obj
+
+    for class_edge in graph.edges_from(graph.root):
+        for member_edge in graph.edges_from(class_edge.dst):
+            if member_edge.label == sym("member"):
+                decode_object(member_edge.dst)
+    # Refresh attribute tuples: objects decoded before a class grew its
+    # attribute set must see the final class definition.
+    for cname, extent in db.extents.items():
+        final = db.classes[cname]
+        for obj in extent:
+            obj.cls = final
+    return db

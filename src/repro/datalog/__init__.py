@@ -1,0 +1,29 @@
+"""Graph datalog (section 3's recursive-query strategy)."""
+
+from .ast import Atom, Comparison, Const, Program, Rule, Var
+from .engine import (
+    DatalogError,
+    check_safety,
+    evaluate,
+    graph_edb,
+    run_on_graph,
+    stratify,
+)
+from .parser import DatalogSyntaxError, parse_program
+
+__all__ = [
+    "Var",
+    "Const",
+    "Atom",
+    "Comparison",
+    "Rule",
+    "Program",
+    "parse_program",
+    "DatalogSyntaxError",
+    "DatalogError",
+    "check_safety",
+    "stratify",
+    "evaluate",
+    "graph_edb",
+    "run_on_graph",
+]

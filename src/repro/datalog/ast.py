@@ -1,0 +1,120 @@
+"""Abstract syntax for graph datalog.
+
+Section 3: "Some forms of unbounded search will require recursive queries,
+i.e., a 'graph datalog', and such languages are proposed in [26, 16] for
+the web and for hypertext."  The language here is classical datalog with
+stratified negation and comparison built-ins, evaluated over an EDB that by
+default contains the graph encoding of :mod:`repro.relational.encode`:
+
+* ``edge(Src, Label, Dst)`` -- one fact per graph edge (label values);
+* ``root(Node)`` -- the distinguished root;
+* ``symbol(L)`` / ``intval(L)`` / ... -- label-kind facts, making the
+  tagged union queryable.
+
+Example (all nodes reachable without crossing a ``Movie`` edge)::
+
+    reach(X)  :- root(X).
+    reach(Y)  :- reach(X), edge(X, L, Y), L != "Movie".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Var", "Const", "Term", "Atom", "Comparison", "BodyItem", "Rule", "Program"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable (capitalized in the concrete syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant (number, quoted string, or lowercase identifier)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t1, ..., tn)``, possibly negated in a rule body."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[str]:
+        return {t.name for t in self.terms if isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.terms))
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in ``t1 op t2`` with op in ``= != < <= > >=``."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def variables(self) -> set[str]:
+        out = set()
+        for t in (self.left, self.right):
+            if isinstance(t, Var):
+                out.add(t.name)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+BodyItem = Union[Atom, Comparison]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``; a bodyless rule is a fact."""
+
+    head: Atom
+    body: tuple[BodyItem, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+
+@dataclass(frozen=True)
+class Program:
+    rules: tuple[Rule, ...]
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by some rule head."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def __repr__(self) -> str:
+        return "\n".join(map(repr, self.rules))

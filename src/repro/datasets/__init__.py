@@ -1,0 +1,17 @@
+"""Dataset generators: Figure 1 and the paper's motivating data sources."""
+
+from .acedb import acedb_schema, generate_acedb
+from .movies import ACTOR_POOL, figure1, generate_movies
+from .relational_data import generate_catalog, random_algebra_term
+from .webgraph import generate_web
+
+__all__ = [
+    "figure1",
+    "generate_movies",
+    "ACTOR_POOL",
+    "generate_web",
+    "generate_acedb",
+    "acedb_schema",
+    "generate_catalog",
+    "random_algebra_term",
+]

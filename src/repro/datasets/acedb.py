@@ -1,0 +1,117 @@
+"""ACeDB-style biological data: loose schemas, trees of arbitrary depth.
+
+Section 1.1: ACeDB "has a schema language that resembles that of an
+object-oriented DBMS; but this schema imposes only loose constraints on the
+data ... there are structures that are naturally expressed in ACeDB, such
+as trees of arbitrary depth, that cannot be queried using conventional
+techniques."
+
+The generator produces a C.-elegans-flavoured database (the substitution
+DESIGN.md records -- we cannot ship ACeDB itself):
+
+* ``Locus`` objects with a *variable* subset of attributes (the loose
+  schema: no two objects need the same shape);
+* a taxonomy / clone-containment tree of random, unbounded depth under
+  ``Contains`` edges -- the "trees of arbitrary depth";
+* cross links (``Maps_to``) between loci and map positions.
+
+:func:`acedb_schema` gives the loose :class:`~repro.schema.graphschema.
+GraphSchema` every generated database conforms to, demonstrating
+"schema imposes only loose constraints" executably.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.graph import Graph
+from ..core.labels import string
+from ..schema.graphschema import GraphSchema
+
+__all__ = ["generate_acedb", "acedb_schema"]
+
+_GENE_PREFIXES = ["unc", "lin", "dpy", "him", "let", "ced", "egl", "sma"]
+_AUTHORS = ["Sulston", "Brenner", "Horvitz", "Waterston", "Coulson", "Durbin"]
+
+
+def generate_acedb(num_loci: int, seed: int = 0, max_depth: int = 8) -> Graph:
+    """A loose-schema biological database with ``num_loci`` locus objects."""
+    if num_loci < 1:
+        raise ValueError("need at least one locus")
+    rng = random.Random(seed)
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+
+    def scalar(parent: int, label: str, value) -> None:
+        holder = g.new_node()
+        g.add_edge(parent, label, holder)
+        g.add_edge(
+            holder, string(value) if isinstance(value, str) else value, g.new_node()
+        )
+
+    def clone_tree(parent: int, depth: int) -> None:
+        """Containment trees of arbitrary depth (the ACeDB specialty)."""
+        if depth <= 0 or rng.random() < 0.35:
+            scalar(parent, "Length", rng.randint(1, 40) * 1000)
+            return
+        for _ in range(rng.randint(1, 3)):
+            child = g.new_node()
+            g.add_edge(parent, "Contains", child)
+            scalar(child, "Clone_name", f"c{rng.randrange(10_000)}")
+            clone_tree(child, depth - 1)
+
+    map_nodes: list[int] = []
+    for m in range(max(1, num_loci // 10)):
+        map_node = g.new_node()
+        g.add_edge(root, "Map", map_node)
+        scalar(map_node, "Map_name", f"chr{m + 1}")
+        map_nodes.append(map_node)
+
+    for i in range(num_loci):
+        locus = g.new_node()
+        g.add_edge(root, "Locus", locus)
+        name = f"{rng.choice(_GENE_PREFIXES)}-{i}"
+        scalar(locus, "Locus_name", name)
+        # the loose schema: each attribute present only sometimes
+        if rng.random() < 0.8:
+            scalar(locus, "Phenotype", rng.choice(
+                ["uncoordinated", "dumpy", "lethal", "egg-laying defective"]
+            ))
+        if rng.random() < 0.5:
+            paper = g.new_node()
+            g.add_edge(locus, "Reference", paper)
+            scalar(paper, "Author", rng.choice(_AUTHORS))
+            scalar(paper, "Year", rng.randint(1974, 1997))
+        if rng.random() < 0.6:
+            g.add_edge(locus, "Maps_to", rng.choice(map_nodes))
+        if rng.random() < 0.4:
+            clone = g.new_node()
+            g.add_edge(locus, "Clone", clone)
+            clone_tree(clone, rng.randint(1, max_depth))
+    return g
+
+
+def acedb_schema() -> GraphSchema:
+    """The loose schema the generated databases conform to.
+
+    Note what it does *not* say: nothing is required, depths are
+    unbounded (the ``Contains`` cycle in the schema graph), and unknown
+    attributes are simply absent rather than defaulted -- the
+    schema-as-upper-bound semantics of simulation.
+    """
+    return GraphSchema.from_spec(
+        {
+            "Map": {"Map_name": {"<string>": None}},
+            "Locus": {
+                "Locus_name": {"<string>": None},
+                "Phenotype": {"<string>": None},
+                "Reference": {
+                    "Author": {"<string>": None},
+                    "Year": {"<int>": None},
+                },
+                "Maps_to": {"Map_name": {"<string>": None}},
+                "Clone": "_",
+            },
+        }
+    )

@@ -1,0 +1,176 @@
+"""The movie database of Figure 1, exact and at scale.
+
+:func:`figure1` reproduces the paper's one figure: three ``Entry`` edges
+(two movies, one TV show), the two *different* representations of a cast
+(direct string edges vs. a ``Credit``/``Actors`` subobject), the ``1.2E6``
+real-valued credit, integer-labeled ``Episode`` edges standing for an
+array, and the ``References`` / ``Is referenced in`` cycle between
+entries.  The figure (the paper admits) has "some inaccuracies" relative
+to IMDB; so, unavoidably, do we -- the *structure* is what matters and it
+is preserved element for element.
+
+:func:`generate_movies` scales the same heterogeneity up: a deterministic
+pseudo-IMDB with both cast encodings, optional directors, TV shows with
+episode arrays, and occasional cross-reference cycles.  It is the workload
+generator behind experiments E1/E2/E6/E7.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.graph import Graph
+from ..core.labels import real, string
+
+__all__ = ["figure1", "generate_movies", "ACTOR_POOL"]
+
+
+def figure1() -> Graph:
+    """The example movie database of the paper, Figure 1."""
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+
+    # -- Entry 1: Casablanca, cast as direct string edges ---------------------
+    entry1 = g.new_node()
+    movie1 = g.new_node()
+    g.add_edge(root, "Entry", entry1)
+    g.add_edge(entry1, "Movie", movie1)
+    title1, t1_leaf = g.new_node(), g.new_node()
+    g.add_edge(movie1, "Title", title1)
+    g.add_edge(title1, string("Casablanca"), t1_leaf)
+    cast1 = g.new_node()
+    g.add_edge(movie1, "Cast", cast1)
+    g.add_edge(cast1, string("Bogart"), g.new_node())
+    g.add_edge(cast1, string("Bacall"), g.new_node())  # the egregious error
+    director1 = g.new_node()
+    g.add_edge(movie1, "Director", director1)
+
+    # -- Entry 2: Play it again, Sam; cast behind Credit/Actors --------------
+    entry2 = g.new_node()
+    movie2 = g.new_node()
+    g.add_edge(root, "Entry", entry2)
+    g.add_edge(entry2, "Movie", movie2)
+    title2 = g.new_node()
+    g.add_edge(movie2, "Title", title2)
+    g.add_edge(title2, string("Play it again, Sam"), g.new_node())
+    cast2 = g.new_node()
+    g.add_edge(movie2, "Cast", cast2)
+    credit = g.new_node()
+    g.add_edge(cast2, "Credit", credit)
+    g.add_edge(credit, real(1.2e6), g.new_node())
+    actors = g.new_node()
+    g.add_edge(cast2, "Actors", actors)
+    g.add_edge(actors, string("Allen"), g.new_node())
+    director2 = g.new_node()
+    g.add_edge(movie2, "Director", director2)
+    g.add_edge(director2, string("Allen"), g.new_node())
+
+    # -- Entry 3: a TV show with an episode array and special guests ---------
+    entry3 = g.new_node()
+    show = g.new_node()
+    g.add_edge(root, "Entry", entry3)
+    g.add_edge(entry3, "TV Show", show)
+    title3 = g.new_node()
+    g.add_edge(show, "Title", title3)
+    cast3 = g.new_node()
+    g.add_edge(show, "Cast", cast3)
+    guests = g.new_node()
+    g.add_edge(cast3, "Special Guests", guests)
+    episode = g.new_node()
+    g.add_edge(show, "Episode", episode)
+    for i in (1, 2, 3):
+        g.add_edge(episode, i, g.new_node())
+
+    # -- the cycle: Play it again, Sam references Casablanca ------------------
+    g.add_edge(movie2, "References", movie1)
+    g.add_edge(movie1, "Is referenced in", movie2)
+    return g
+
+
+ACTOR_POOL = [
+    "Bogart", "Bacall", "Bergman", "Allen", "Keaton", "Hepburn", "Grant",
+    "Stewart", "Novak", "Leigh", "Mason", "Kelly", "Rains", "Lorre",
+    "Greenstreet", "Henreid", "Veidt", "Wilson", "Dooley",
+]
+
+_TITLE_WORDS = [
+    "Casablanca", "Again", "Sam", "Play", "Night", "Paris", "Shadow",
+    "Letter", "Falcon", "Window", "Vertigo", "Notorious", "Sabrina",
+    "Charade", "Laura", "Gilda", "Suspicion",
+]
+
+_DIRECTOR_POOL = ["Curtiz", "Allen", "Hitchcock", "Wilder", "Hawks", "Huston"]
+
+
+def generate_movies(
+    num_entries: int, seed: int = 0, reference_fraction: float = 0.1
+) -> Graph:
+    """A pseudo-IMDB with Figure 1's heterogeneity, ``num_entries`` entries.
+
+    Deterministic in ``seed``.  Roughly 80% of the entries are movies and
+    20% TV shows; half the movies use the direct cast representation and
+    half the ``Credit``/``Actors`` one; ``reference_fraction`` of the
+    entries gain a ``References`` edge to an earlier entry (with the
+    ``Is referenced in`` back edge, so the data is cyclic like the
+    figure).
+    """
+    rng = random.Random(seed)
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+    content_nodes: list[int] = []
+
+    def scalar(parent: int, label: str, value) -> None:
+        holder = g.new_node()
+        g.add_edge(parent, label, holder)
+        g.add_edge(holder, value if not isinstance(value, str) else string(value), g.new_node())
+
+    for i in range(num_entries):
+        entry = g.new_node()
+        g.add_edge(root, "Entry", entry)
+        title = " ".join(rng.sample(_TITLE_WORDS, rng.randint(1, 3))) + f" {i}"
+        if rng.random() < 0.8:
+            movie = g.new_node()
+            g.add_edge(entry, "Movie", movie)
+            scalar(movie, "Title", title)
+            scalar(movie, "Year", rng.randint(1920, 1997))
+            cast = g.new_node()
+            g.add_edge(movie, "Cast", cast)
+            members = rng.sample(ACTOR_POOL, rng.randint(1, 4))
+            if rng.random() < 0.5:
+                for actor in members:  # representation A: direct edges
+                    g.add_edge(cast, string(actor), g.new_node())
+            else:  # representation B: Credit/Actors subobject
+                credit = g.new_node()
+                g.add_edge(cast, "Credit", credit)
+                g.add_edge(credit, real(rng.randint(1, 30) * 1e5), g.new_node())
+                actors = g.new_node()
+                g.add_edge(cast, "Actors", actors)
+                for actor in members:
+                    g.add_edge(actors, string(actor), g.new_node())
+            if rng.random() < 0.7:
+                scalar(movie, "Director", rng.choice(_DIRECTOR_POOL))
+            content_nodes.append(movie)
+        else:
+            show = g.new_node()
+            g.add_edge(entry, "TV Show", show)
+            scalar(show, "Title", title)
+            episode = g.new_node()
+            g.add_edge(show, "Episode", episode)
+            for ep in range(1, rng.randint(2, 5)):
+                g.add_edge(episode, ep, g.new_node())
+            cast = g.new_node()
+            g.add_edge(show, "Cast", cast)
+            guests = g.new_node()
+            g.add_edge(cast, "Special Guests", guests)
+            for actor in rng.sample(ACTOR_POOL, rng.randint(1, 2)):
+                g.add_edge(guests, string(actor), g.new_node())
+            if rng.random() < 0.3:
+                scalar(show, "actors", rng.choice(ACTOR_POOL))
+            content_nodes.append(show)
+        if len(content_nodes) > 1 and rng.random() < reference_fraction:
+            target = rng.choice(content_nodes[:-1])
+            g.add_edge(content_nodes[-1], "References", target)
+            g.add_edge(target, "Is referenced in", content_nodes[-1])
+    return g

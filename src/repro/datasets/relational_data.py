@@ -1,0 +1,113 @@
+"""Relational workload generators (experiments E4, E8, E9).
+
+Deterministic catalogs of movie-flavoured tables plus a generator of
+random well-typed SPJRU algebra terms over them -- the machinery behind
+the paper's claim that UnQL restricted to relational data "expresses
+exactly the relational (nested relational) algebra".
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    RelExpr,
+    Scan,
+    Select,
+    Union,
+    expr_schema,
+)
+from ..relational.relation import Relation
+
+__all__ = ["generate_catalog", "random_algebra_term"]
+
+
+def generate_catalog(
+    num_movies: int = 50, num_actors: int = 20, seed: int = 0
+) -> dict[str, Relation]:
+    """Movies / Casts / Directors tables with referential structure."""
+    rng = random.Random(seed)
+    actors = [f"actor{i}" for i in range(num_actors)]
+    directors = [f"director{i}" for i in range(max(3, num_actors // 4))]
+    movies = []
+    casts = []
+    directed = []
+    for i in range(num_movies):
+        title = f"movie{i}"
+        movies.append((title, rng.randint(1930, 1997)))
+        for actor in rng.sample(actors, rng.randint(1, 4)):
+            casts.append((title, actor))
+        directed.append((title, rng.choice(directors)))
+    return {
+        "Movies": Relation(("title", "year"), movies),
+        "Casts": Relation(("title", "actor"), casts),
+        "Directors": Relation(("title", "director"), directed),
+    }
+
+
+def random_algebra_term(
+    catalog: dict[str, Relation], seed: int = 0, depth: int = 3
+) -> RelExpr:
+    """A random well-typed SPJRU term over the catalog's tables.
+
+    Guarantees: every Select mentions an attribute its input has; every
+    Project keeps a non-empty subset; Union/Difference operands are built
+    from the same scan so schemas line up.  Values for selections are
+    sampled from the actual column domains so results are non-trivially
+    non-empty.
+    """
+    rng = random.Random(seed)
+    schemas = {name: rel.schema for name, rel in catalog.items()}
+
+    def build(d: int) -> RelExpr:
+        if d == 0:
+            return Scan(rng.choice(sorted(catalog)))
+        kind = rng.randrange(5)
+        if kind == 0:
+            return Scan(rng.choice(sorted(catalog)))
+        if kind == 1:
+            inner = build(d - 1)
+            schema = expr_schema(inner, schemas)
+            attr = rng.choice(schema)
+            value = _sample_value(catalog, rng, attr)
+            return Select(inner, attr, value)
+        if kind == 2:
+            inner = build(d - 1)
+            schema = expr_schema(inner, schemas)
+            keep = rng.sample(schema, rng.randint(1, len(schema)))
+            return Project(inner, tuple(keep))
+        if kind == 3:
+            return Join(build(d - 1), build(d - 1))
+        base = build(d - 1)
+        other_seed = rng.randrange(1 << 30)
+        other = _same_schema_term(base, catalog, schemas, other_seed)
+        cls = Union if rng.random() < 0.5 else Difference
+        return cls(base, other)
+
+    return build(depth)
+
+
+def _same_schema_term(base, catalog, schemas, seed):
+    """A term with the same schema as ``base``: a selection of it."""
+    rng = random.Random(seed)
+    schema = expr_schema(base, schemas)
+    attr = rng.choice(schema)
+    return Select(base, attr, _sample_value(catalog, rng, attr))
+
+
+def _sample_value(catalog, rng, attr):
+    domain = sorted(
+        {
+            value
+            for rel in catalog.values()
+            if attr in rel.schema
+            for value in rel.column(attr)
+        },
+        key=repr,
+    )
+    if not domain:
+        return 0
+    return rng.choice(domain)

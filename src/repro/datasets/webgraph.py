@@ -1,0 +1,74 @@
+"""Synthetic web graphs: the data "that cannot be constrained by a schema".
+
+Section 1.1's first motivating source is the World-Wide-Web; we cannot
+ship the 1997 web, so this generator produces the closest structural
+equivalent (the substitution DESIGN.md records): a site of pages with
+
+* a spanning tree of navigation links (every page reachable from the
+  home page),
+* extra random ``link`` edges -- including back links, so the graph is
+  cyclic like the real web,
+* per-page ``url`` and ``title`` string data and occasional ``keyword``
+  edges for text queries.
+
+Deterministic in ``seed``; used by experiments E2 (regular path queries),
+E3 (restructuring) and E5 (distributed decomposition).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.graph import Graph
+from ..core.labels import string
+
+__all__ = ["generate_web"]
+
+_WORDS = [
+    "home", "research", "database", "semistructured", "query", "papers",
+    "people", "teaching", "projects", "unql", "lorel", "web", "data",
+    "biology", "acedb", "penn", "stanford", "archive",
+]
+
+
+def generate_web(
+    num_pages: int, extra_links: int | None = None, seed: int = 0
+) -> Graph:
+    """A rooted, cyclic site graph with ``num_pages`` pages.
+
+    ``extra_links`` defaults to ``2 * num_pages``: on top of the spanning
+    tree each page averages two additional outgoing links, some of which
+    point backwards/upwards and create cycles.
+    """
+    if num_pages < 1:
+        raise ValueError("need at least one page")
+    rng = random.Random(seed)
+    if extra_links is None:
+        extra_links = 2 * num_pages
+    g = Graph()
+    pages = [g.new_node() for _ in range(num_pages)]
+    g.set_root(pages[0])
+
+    for i, page in enumerate(pages):
+        url_holder = g.new_node()
+        g.add_edge(page, "url", url_holder)
+        g.add_edge(url_holder, string(f"http://site.example/p{i}"), g.new_node())
+        title_holder = g.new_node()
+        g.add_edge(page, "title", title_holder)
+        words = rng.sample(_WORDS, rng.randint(1, 3))
+        g.add_edge(title_holder, string(" ".join(words)), g.new_node())
+        for word in rng.sample(_WORDS, rng.randint(0, 2)):
+            kw = g.new_node()
+            g.add_edge(page, "keyword", kw)
+            g.add_edge(kw, string(word), g.new_node())
+
+    # spanning tree: page i linked from a random earlier page
+    for i in range(1, num_pages):
+        parent = pages[rng.randrange(i)]
+        g.add_edge(parent, "link", pages[i])
+    # extra links, cycles included
+    for _ in range(extra_links):
+        src = rng.choice(pages)
+        dst = rng.choice(pages)
+        g.add_edge(src, "link", dst)
+    return g

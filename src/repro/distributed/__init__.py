@@ -1,0 +1,12 @@
+"""Distributed query decomposition (section 4, Suciu VLDB '96)."""
+
+from .decompose import DistributedStats, centralized_work, distributed_rpq
+from .sites import DistributedGraph, partition_graph
+
+__all__ = [
+    "DistributedGraph",
+    "partition_graph",
+    "distributed_rpq",
+    "centralized_work",
+    "DistributedStats",
+]

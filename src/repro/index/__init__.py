@@ -1,0 +1,75 @@
+"""Physical indexes for semistructured data (section 4).
+
+Four structures, combinable through :class:`GraphIndexes`:
+
+* :class:`~repro.index.label_index.LabelIndex` -- label -> edges;
+* :class:`~repro.index.value_index.ValueIndex` -- sorted access to base
+  data (exact / range / prefix);
+* :class:`~repro.index.text_index.TextIndex` -- IR-style word postings
+  over string data;
+* :class:`~repro.index.path_index.PathIndex` -- materialized root paths
+  up to a depth bound.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import Graph
+from .label_index import LabelIndex
+from .path_index import PathIndex
+from .text_index import TextIndex, tokenize
+from .value_index import ValueIndex
+
+__all__ = [
+    "LabelIndex",
+    "ValueIndex",
+    "TextIndex",
+    "PathIndex",
+    "GraphIndexes",
+    "tokenize",
+]
+
+
+class GraphIndexes:
+    """A bundle of all four indexes over one graph, built lazily.
+
+    The query engines take an optional ``GraphIndexes``; each index is
+    constructed the first time a query needs it, so unindexed workloads
+    pay nothing.
+    """
+
+    def __init__(self, graph: Graph, path_depth: int = 4) -> None:
+        self._graph = graph
+        self._path_depth = path_depth
+        self._label: LabelIndex | None = None
+        self._value: ValueIndex | None = None
+        self._text: TextIndex | None = None
+        self._path: PathIndex | None = None
+
+    @property
+    def label(self) -> LabelIndex:
+        if self._label is None:
+            self._label = LabelIndex(self._graph)
+        return self._label
+
+    @property
+    def value(self) -> ValueIndex:
+        if self._value is None:
+            self._value = ValueIndex(self._graph)
+        return self._value
+
+    @property
+    def text(self) -> TextIndex:
+        if self._text is None:
+            self._text = TextIndex(self._graph)
+        return self._text
+
+    @property
+    def path(self) -> PathIndex:
+        if self._path is None:
+            self._path = PathIndex(self._graph, max_depth=self._path_depth)
+        return self._path
+
+    def build_all(self) -> "GraphIndexes":
+        """Force-construct every index (benchmarks use this for fairness)."""
+        _ = self.label, self.value, self.text, self.path
+        return self

@@ -1,0 +1,75 @@
+"""Path index: materialized label paths from the root.
+
+The "path indices on labels" of section 4: for every label path of length
+up to ``max_depth`` starting at the root, the index stores the set of nodes
+the path reaches.  A fixed path expression (``Entry.Movie.Title``) then
+answers in one dictionary lookup instead of a traversal, and a general path
+expression can use the index's path vocabulary to prune its automaton
+search.  The index is exactly the "access support relation" family of
+structures contemporary OODB optimizers used, transplanted to the
+schema-free model.
+
+On cyclic graphs the path language is infinite, so the index is depth-
+bounded; :attr:`PathIndex.max_depth` records the bound and lookups longer
+than it fall back to ``None`` ("not covered"), never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.graph import Graph
+from ..core.labels import Label
+
+__all__ = ["PathIndex"]
+
+
+class PathIndex:
+    """Map ``(label, label, ...) -> frozenset of nodes`` up to a depth bound."""
+
+    def __init__(self, graph: Graph, max_depth: int = 4) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        self._graph = graph
+        self.max_depth = max_depth
+        self._paths: dict[tuple[Label, ...], set[int]] = {(): {graph.root}}
+        frontier: deque[tuple[tuple[Label, ...], int]] = deque([((), graph.root)])
+        # BFS over (path, node) pairs; paths are truncated at max_depth.
+        seen: set[tuple[tuple[Label, ...], int]] = {((), graph.root)}
+        while frontier:
+            path, node = frontier.popleft()
+            if len(path) >= max_depth:
+                continue
+            for edge in graph.edges_from(node):
+                extended = path + (edge.label,)
+                self._paths.setdefault(extended, set()).add(edge.dst)
+                state = (extended, edge.dst)
+                if state not in seen:
+                    seen.add(state)
+                    frontier.append(state)
+
+    def lookup(self, path: tuple[Label, ...]) -> frozenset[int] | None:
+        """Nodes reached by ``path`` from the root.
+
+        Returns ``None`` (not the empty set) when the path is longer than
+        the index covers; the caller must fall back to traversal.  An
+        in-bound path that reaches nothing returns ``frozenset()``.
+        """
+        if len(path) > self.max_depth:
+            return None
+        return frozenset(self._paths.get(path, ()))
+
+    def covers(self, path: tuple[Label, ...]) -> bool:
+        return len(path) <= self.max_depth
+
+    def path_vocabulary(self) -> list[tuple[Label, ...]]:
+        """Every indexed label path, shortest first (DataGuide-flavoured)."""
+        return sorted(self._paths, key=lambda p: (len(p), [l.sort_key() for l in p]))
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._paths)
+
+    def paths_through_label(self, label: Label) -> list[tuple[Label, ...]]:
+        """All indexed paths that contain ``label`` somewhere."""
+        return [p for p in self._paths if label in p]

@@ -1,0 +1,67 @@
+"""Text index: word-level inverted index over string data.
+
+Section 1.1 notes that "most web queries exploit information retrieval
+techniques to retrieve individual pages from their contents"; section 4
+lists "text indices ... on strings" among the useful physical structures.
+This index tokenizes every string data label into lowercase words and maps
+each word to the edges containing it, giving the IR-style *contains*
+queries that complement the structural ones.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..core.graph import Edge, Graph
+
+__all__ = ["TextIndex", "tokenize"]
+
+_WORD = re.compile(r"[A-Za-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a string into lowercase word tokens."""
+    return [w.lower() for w in _WORD.findall(text)]
+
+
+class TextIndex:
+    """Inverted index ``word -> edges whose string label contains it``."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._postings: dict[str, list[Edge]] = {}
+        for node in graph.reachable():
+            for edge in graph.edges_from(node):
+                if not edge.label.is_string:
+                    continue
+                seen: set[str] = set()
+                for word in tokenize(str(edge.label.value)):
+                    if word not in seen:
+                        seen.add(word)
+                        self._postings.setdefault(word, []).append(edge)
+
+    def containing_word(self, word: str) -> tuple[Edge, ...]:
+        """All string edges containing ``word`` (case-insensitive)."""
+        return tuple(self._postings.get(word.lower(), ()))
+
+    def containing_all(self, words: Iterable[str]) -> list[Edge]:
+        """Edges whose string contains *every* given word (AND query)."""
+        postings = [set(self.containing_word(w)) for w in words]
+        if not postings:
+            return []
+        hit = set.intersection(*postings)
+        return sorted(hit, key=lambda e: (e.src, e.dst))
+
+    def containing_any(self, words: Iterable[str]) -> list[Edge]:
+        """Edges whose string contains *some* given word (OR query)."""
+        hit: set[Edge] = set()
+        for w in words:
+            hit.update(self.containing_word(w))
+        return sorted(hit, key=lambda e: (e.src, e.dst))
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)
+
+    def document_frequency(self, word: str) -> int:
+        return len(self._postings.get(word.lower(), ()))

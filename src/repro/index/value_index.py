@@ -1,0 +1,95 @@
+"""Value index: range and prefix access to base-data labels.
+
+Supports the browsing queries of section 1.3 that no schema-first language
+can answer generically:
+
+* "Where in the database is the string 'Casablanca' to be found?"
+  -- exact string lookup;
+* "Are there integers in the database greater than 2^16?"
+  -- numeric range scan.
+
+Numbers (ints and reals together, as a total order) and strings are kept in
+sorted arrays with ``bisect`` access, so range/prefix queries cost
+``O(log n + answer)``; exact lookups use a hash map.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..core.graph import Edge, Graph
+from ..core.labels import Label, LabelKind
+
+__all__ = ["ValueIndex"]
+
+
+class ValueIndex:
+    """Sorted + hashed access to every base-data label in a graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._exact: dict[Label, list[Edge]] = {}
+        numbers: list[tuple[float, Edge]] = []
+        strings: list[tuple[str, Edge]] = []
+        for node in graph.reachable():
+            for edge in graph.edges_from(node):
+                label = edge.label
+                if label.is_symbol:
+                    continue
+                self._exact.setdefault(label, []).append(edge)
+                if label.kind in (LabelKind.INT, LabelKind.REAL):
+                    numbers.append((float(label.value), edge))
+                elif label.kind is LabelKind.STRING:
+                    strings.append((str(label.value), edge))
+        numbers.sort(key=lambda pair: pair[0])
+        strings.sort(key=lambda pair: pair[0])
+        self._number_keys = [k for k, _ in numbers]
+        self._number_edges = [e for _, e in numbers]
+        self._string_keys = [k for k, _ in strings]
+        self._string_edges = [e for _, e in strings]
+
+    # -- exact ----------------------------------------------------------------
+
+    def find_exact(self, label: Label) -> tuple[Edge, ...]:
+        """All edges whose data label equals ``label`` exactly."""
+        return tuple(self._exact.get(label, ()))
+
+    # -- numeric ranges ----------------------------------------------------------
+
+    def numbers_greater_than(self, bound: float, strict: bool = True) -> Iterator[Edge]:
+        """Edges whose numeric label exceeds ``bound`` (the 2^16 query)."""
+        if strict:
+            lo = bisect.bisect_right(self._number_keys, bound)
+        else:
+            lo = bisect.bisect_left(self._number_keys, bound)
+        yield from self._number_edges[lo:]
+
+    def numbers_in_range(self, low: float, high: float) -> Iterator[Edge]:
+        """Edges with ``low <= value <= high``."""
+        lo = bisect.bisect_left(self._number_keys, low)
+        hi = bisect.bisect_right(self._number_keys, high)
+        yield from self._number_edges[lo:hi]
+
+    # -- string prefixes -----------------------------------------------------------
+
+    def strings_with_prefix(self, prefix: str) -> Iterator[Edge]:
+        """Edges whose string label starts with ``prefix``."""
+        lo = bisect.bisect_left(self._string_keys, prefix)
+        hi = bisect.bisect_left(self._string_keys, prefix + "￿")
+        yield from self._string_edges[lo:hi]
+
+    def strings_in_range(self, low: str, high: str) -> Iterator[Edge]:
+        """Edges with ``low <= value <= high`` lexicographically."""
+        lo = bisect.bisect_left(self._string_keys, low)
+        hi = bisect.bisect_right(self._string_keys, high)
+        yield from self._string_edges[lo:hi]
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def num_numbers(self) -> int:
+        return len(self._number_keys)
+
+    @property
+    def num_strings(self) -> int:
+        return len(self._string_keys)

@@ -1,0 +1,115 @@
+"""Abstract syntax of the Lorel-style language.
+
+Lorel (the paper's [5], the Lore system's language) keeps SQL's
+``select ... from ... where`` shape over OEM data: *from* clauses bind
+variables by general path expressions, *where* is a boolean combination of
+coercing comparisons, and *select* projects paths from the bound
+variables.  "Lorel ... requires a rich set of overloadings for its
+operators for dealing with comparisons of objects with values and of
+values with sets" -- those overloadings live in :mod:`repro.lorel.coerce`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..automata.regex import PathRegex
+
+__all__ = [
+    "FromClause",
+    "SelectItem",
+    "PathOperand",
+    "LiteralOperand",
+    "Operand",
+    "Predicate",
+    "Compare",
+    "LikePredicate",
+    "ExistsPredicate",
+    "BoolOp",
+    "NotOp",
+    "LorelQuery",
+]
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """``base.path alias``: bind ``alias`` to each object the path reaches.
+
+    ``base`` is either the database name (``DB``) or a previously bound
+    alias; ``path`` may be ``None`` for a pure re-aliasing.
+    """
+
+    base: str
+    path: "PathRegex | None"
+    path_text: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class PathOperand:
+    """``alias.path`` used as a value: the set of objects it reaches."""
+
+    base: str
+    path: "PathRegex | None"
+    path_text: str
+
+
+@dataclass(frozen=True)
+class LiteralOperand:
+    value: object
+
+
+Operand = Union[PathOperand, LiteralOperand]
+
+
+@dataclass(frozen=True)
+class Compare:
+    """``operand op operand`` with Lorel's existential set semantics."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    operand: Operand
+    pattern: str
+
+
+@dataclass(frozen=True)
+class ExistsPredicate:
+    """``exists alias.path`` -- the path reaches at least one object."""
+
+    operand: PathOperand
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # "and" | "or"
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    inner: "Predicate"
+
+
+Predicate = Union[Compare, LikePredicate, ExistsPredicate, BoolOp, NotOp]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A projection: ``alias.path`` with an optional ``as Name`` label."""
+
+    operand: PathOperand
+    label: "str | None" = None
+
+
+@dataclass(frozen=True)
+class LorelQuery:
+    items: tuple[SelectItem, ...]
+    from_clauses: tuple[FromClause, ...]
+    where: "Predicate | None" = None

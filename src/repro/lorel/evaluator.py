@@ -1,0 +1,216 @@
+"""Evaluator for the Lorel-style language over OEM databases.
+
+Semantics follow Lore's select fragment:
+
+* **from** clauses bind each alias to every object its general path
+  expression reaches (paths evaluated by the same automaton product as
+  everywhere else, so cyclic OEM data is fine);
+* **where** filters binding environments; path operands denote the *set*
+  of objects they reach and comparisons are existential over that set
+  with the coercions of :mod:`repro.lorel.coerce`;
+* **select** builds an answer OEM database: one ``row`` object per
+  surviving environment, carrying one child per select item (labeled by
+  the ``as`` name, or the last path label, or the alias).  Projected
+  objects are deep-copied into the answer, preserving sharing and cycles
+  -- object identity survives exactly as far as it is observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..automata.dfa import LazyDfa
+from ..automata.nfa import build_nfa
+from ..automata.regex import PathRegex
+from ..core.labels import sym
+from ..core.oem import OemDatabase, Oid
+from .ast import (
+    BoolOp,
+    Compare,
+    ExistsPredicate,
+    FromClause,
+    LikePredicate,
+    LiteralOperand,
+    LorelQuery,
+    NotOp,
+    PathOperand,
+    SelectItem,
+)
+
+__all__ = ["evaluate_lorel", "lorel_bindings", "LorelRuntimeError"]
+
+
+class LorelRuntimeError(ValueError):
+    """Raised on evaluation errors (unknown aliases, bad bases...)."""
+
+
+def _oem_rpq(db: OemDatabase, start: Oid, dfa: LazyDfa) -> set[Oid]:
+    """Product traversal over OEM children (symbol-labeled edges)."""
+    results: set[Oid] = set()
+    seen = {(start, dfa.start)}
+    if dfa.is_accepting(dfa.start):
+        results.add(start)
+    queue = deque([(start, dfa.start)])
+    while queue:
+        oid, state = queue.popleft()
+        obj = db.get(oid)
+        for label, child in obj.children:
+            nxt = dfa.step(state, sym(label))
+            if dfa.is_dead(nxt):
+                continue
+            config = (child, nxt)
+            if config in seen:
+                continue
+            seen.add(config)
+            if dfa.is_accepting(nxt):
+                results.add(child)
+            queue.append(config)
+    return results
+
+
+class _Runner:
+    def __init__(self, db: OemDatabase, db_name: str) -> None:
+        self.db = db
+        self.db_name = db_name
+        self._dfas: dict[str, LazyDfa] = {}
+
+    def dfa_of(self, path: PathRegex, text: str) -> LazyDfa:
+        dfa = self._dfas.get(text)
+        if dfa is None:
+            dfa = LazyDfa(build_nfa(path))
+            self._dfas[text] = dfa
+        return dfa
+
+    def start_of(self, base: str, env: dict[str, Oid]) -> Oid:
+        if base in env:
+            return env[base]
+        if base == self.db_name or base in self.db.names:
+            return self.db.lookup_name(base if base in self.db.names else self.db_name)
+        raise LorelRuntimeError(f"unknown alias or database {base!r}")
+
+    def path_targets(self, operand: PathOperand, env: dict[str, Oid]) -> set[Oid]:
+        start = self.start_of(operand.base, env)
+        if operand.path is None:
+            return {start}
+        return _oem_rpq(self.db, start, self.dfa_of(operand.path, operand.path_text))
+
+    # -- where ----------------------------------------------------------------
+
+    def operand_values(self, operand, env: dict[str, Oid]) -> list[object]:
+        """The value set of an operand: literals are singletons; paths
+        yield the atoms of the reached objects (complex objects yield a
+        non-value marker that fails comparisons but counts for exists)."""
+        if isinstance(operand, LiteralOperand):
+            return [operand.value]
+        values: list[object] = []
+        for oid in self.path_targets(operand, env):
+            obj = self.db.get(oid)
+            values.append(obj.atom if obj.is_atomic else _COMPLEX)
+        return values
+
+    def check(self, predicate, env: dict[str, Oid]) -> bool:
+        from .coerce import compare_values, like_value
+
+        if isinstance(predicate, BoolOp):
+            if predicate.op == "and":
+                return self.check(predicate.left, env) and self.check(
+                    predicate.right, env
+                )
+            return self.check(predicate.left, env) or self.check(predicate.right, env)
+        if isinstance(predicate, NotOp):
+            return not self.check(predicate.inner, env)
+        if isinstance(predicate, ExistsPredicate):
+            return bool(self.path_targets(predicate.operand, env))
+        if isinstance(predicate, LikePredicate):
+            return any(
+                value is not _COMPLEX and like_value(value, predicate.pattern)
+                for value in self.operand_values(predicate.operand, env)
+            )
+        if isinstance(predicate, Compare):
+            lefts = self.operand_values(predicate.left, env)
+            rights = self.operand_values(predicate.right, env)
+            return any(
+                left is not _COMPLEX
+                and right is not _COMPLEX
+                and compare_values(left, predicate.op, right)
+                for left in lefts
+                for right in rights
+            )
+        raise LorelRuntimeError(f"unknown predicate {predicate!r}")
+
+
+class _Complex:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<complex object>"
+
+
+_COMPLEX = _Complex()
+
+
+def lorel_bindings(
+    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+) -> list[dict[str, Oid]]:
+    """The alias environments the from/where clauses produce."""
+    runner = _Runner(db, db_name)
+    envs: list[dict[str, Oid]] = [{}]
+    for clause in query.from_clauses:
+        nxt: list[dict[str, Oid]] = []
+        for env in envs:
+            operand = PathOperand(clause.base, clause.path, clause.path_text)
+            for oid in sorted(runner.path_targets(operand, env)):
+                extended = dict(env)
+                extended[clause.alias] = oid
+                nxt.append(extended)
+        envs = nxt
+        if not envs:
+            return []
+    if query.where is not None:
+        envs = [env for env in envs if runner.check(query.where, env)]
+    return envs
+
+
+def evaluate_lorel(
+    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+) -> OemDatabase:
+    """Run a parsed query; the result is an OEM database named ``Answer``."""
+    runner = _Runner(db, db_name)
+    envs = lorel_bindings(query, db, db_name)
+    answer = OemDatabase()
+    answer_root = answer.new_complex()
+    answer.set_name("Answer", answer_root)
+    copied: dict[Oid, Oid] = {}
+
+    def copy_into(oid: Oid) -> Oid:
+        if oid in copied:
+            return copied[oid]
+        obj = db.get(oid)
+        if obj.is_atomic:
+            new = answer.new_atomic(obj.atom)
+            copied[oid] = new
+            return new
+        new = answer.new_complex()
+        copied[oid] = new
+        for label, child in obj.children:
+            answer.add_child(new, label, copy_into(child))
+        return new
+
+    for env in envs:
+        row = answer.new_complex()
+        answer.add_child(answer_root, "row", row)
+        for item in query.items:
+            label = _item_label(item)
+            for oid in sorted(runner.path_targets(item.operand, env)):
+                answer.add_child(row, label, copy_into(oid))
+    return answer
+
+
+def _item_label(item: SelectItem) -> str:
+    if item.label is not None:
+        return item.label
+    if item.operand.path_text:
+        # last identifier-ish component of the path text
+        tail = item.operand.path_text.split(".")[-1]
+        cleaned = "".join(c for c in tail if c.isalnum() or c == "_")
+        if cleaned:
+            return cleaned
+    return item.operand.base

@@ -1,0 +1,71 @@
+"""The relational substrate and the graph/relation encodings.
+
+* :mod:`~repro.relational.relation` -- set-semantics relations;
+* :mod:`~repro.relational.algebra` -- SPJRU operators + fixpoint, both as
+  functions and as an expression AST;
+* :mod:`~repro.relational.encode` -- (node-id, label, node-id) edge
+  relations and the relational-database-as-graph encoding;
+* :mod:`~repro.relational.translate` -- the UnQL-fragment-to-relational
+  translation of section 4 (Fernandez-Popa-Suciu).
+"""
+
+from .algebra import (
+    Difference,
+    Join,
+    Project,
+    RelExpr,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    difference,
+    evaluate,
+    fixpoint,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    select_eq,
+    union,
+)
+from .encode import (
+    EDGE_SCHEMA,
+    edge_relation_to_graph,
+    graph_to_edge_relation,
+    graph_to_relational,
+    graph_to_typed_relations,
+    relational_to_graph,
+)
+from .relation import Relation, RelationError
+
+__all__ = [
+    "Relation",
+    "RelationError",
+    "select",
+    "select_eq",
+    "project",
+    "rename",
+    "natural_join",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "fixpoint",
+    "RelExpr",
+    "Scan",
+    "Select",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "evaluate",
+    "EDGE_SCHEMA",
+    "graph_to_edge_relation",
+    "graph_to_typed_relations",
+    "edge_relation_to_graph",
+    "relational_to_graph",
+    "graph_to_relational",
+]

@@ -1,0 +1,243 @@
+"""The relational algebra, as functions and as an expression tree.
+
+Two layers:
+
+* plain functions (:func:`select`, :func:`project`, :func:`natural_join`,
+  ...) for direct use by the encodings and the datalog engine;
+* an expression AST (:class:`Scan` ... :class:`Difference`) with
+  :func:`evaluate`, used by experiment E4 to generate random SPJRU terms
+  and compare the relational evaluation against UnQL's structural-
+  recursion evaluation ("when restricted to input and output data that
+  conform to a relational schema, [the UnQL algebra] expresses exactly the
+  relational algebra").
+
+A :func:`fixpoint` operator rounds the language out to the "graph datalog"
+expressiveness the paper says unbounded search needs; the semi-naive
+version of that idea lives in :mod:`repro.datalog.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .relation import Relation, RelationError
+
+__all__ = [
+    "select",
+    "select_eq",
+    "project",
+    "rename",
+    "natural_join",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "fixpoint",
+    "RelExpr",
+    "Scan",
+    "Select",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "evaluate",
+]
+
+
+# ---------------------------------------------------------------------------
+# Functional operators.
+
+
+def select(rel: Relation, predicate: Callable[[dict[str, Any]], bool]) -> Relation:
+    """sigma: keep rows satisfying an arbitrary predicate over a row dict."""
+    schema = rel.schema
+    return Relation(
+        schema, (row for row in rel if predicate(dict(zip(schema, row))))
+    )
+
+
+def select_eq(rel: Relation, attr: str, value: Any) -> Relation:
+    """sigma attr = constant (the common, index-friendly special case)."""
+    pos = rel.attr_pos(attr)
+    return Relation(rel.schema, (row for row in rel if row[pos] == value))
+
+
+def project(rel: Relation, attrs: tuple[str, ...] | list[str]) -> Relation:
+    """pi: keep the named attributes (set semantics removes duplicates)."""
+    attrs = tuple(attrs)
+    positions = [rel.attr_pos(a) for a in attrs]
+    return Relation(attrs, (tuple(row[p] for p in positions) for row in rel))
+
+
+def rename(rel: Relation, mapping: Mapping[str, str]) -> Relation:
+    """rho: rename attributes; unmentioned attributes keep their names."""
+    new_schema = tuple(mapping.get(a, a) for a in rel.schema)
+    return Relation(new_schema, rel.rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """|x|: hash join on the shared attribute names.
+
+    With no shared attributes this degrades to the cartesian product, as
+    the algebra requires.
+    """
+    shared = tuple(a for a in left.schema if a in right.schema)
+    right_only = tuple(a for a in right.schema if a not in shared)
+    out_schema = left.schema + right_only
+    if not shared:
+        return Relation(
+            out_schema, (l + r for l in left.rows for r in right.rows)
+        )
+    right_index = right.index_on(shared)
+    right_only_pos = [right.attr_pos(a) for a in right_only]
+    left_shared_pos = [left.attr_pos(a) for a in shared]
+    rows = []
+    for lrow in left:
+        key = tuple(lrow[p] for p in left_shared_pos)
+        for rrow in right_index.get(key, ()):
+            rows.append(lrow + tuple(rrow[p] for p in right_only_pos))
+    return Relation(out_schema, rows)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """x: cartesian product; attribute names must be disjoint."""
+    overlap = set(left.schema) & set(right.schema)
+    if overlap:
+        raise RelationError(f"product operands share attributes {sorted(overlap)}")
+    return natural_join(left, right)
+
+
+def _require_same_schema(a: Relation, b: Relation, op: str) -> None:
+    if a.schema != b.schema:
+        raise RelationError(
+            f"{op} needs identical schemas, got {a.schema} vs {b.schema}"
+        )
+
+
+def union(a: Relation, b: Relation) -> Relation:
+    """Set union of two relations over identical schemas."""
+    _require_same_schema(a, b, "union")
+    return Relation(a.schema, a.rows | b.rows)
+
+
+def difference(a: Relation, b: Relation) -> Relation:
+    """Set difference ``a - b`` over identical schemas."""
+    _require_same_schema(a, b, "difference")
+    return Relation(a.schema, a.rows - b.rows)
+
+
+def intersection(a: Relation, b: Relation) -> Relation:
+    """Set intersection over identical schemas."""
+    _require_same_schema(a, b, "intersection")
+    return Relation(a.schema, a.rows & b.rows)
+
+
+def fixpoint(seed: Relation, step: Callable[[Relation], Relation]) -> Relation:
+    """Least fixpoint of ``R := seed U step(R)`` (monotone ``step`` assumed).
+
+    The inflationary loop that turns the algebra into the "graph datalog"
+    needed for unbounded search (section 3); terminates because the active
+    domain is finite and the result only grows.
+    """
+    current = seed
+    while True:
+        bigger = union(current, step(current))
+        if len(bigger) == len(current):
+            return current
+        current = bigger
+
+
+# ---------------------------------------------------------------------------
+# Expression AST (for generated SPJRU terms).
+
+
+class RelExpr:
+    """Base class of relational algebra expressions."""
+
+
+@dataclass(frozen=True)
+class Scan(RelExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Select(RelExpr):
+    inner: RelExpr
+    attr: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Project(RelExpr):
+    inner: RelExpr
+    attrs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Rename(RelExpr):
+    inner: RelExpr
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class Join(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+
+@dataclass(frozen=True)
+class Union(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+
+@dataclass(frozen=True)
+class Difference(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+
+def evaluate(expr: RelExpr, catalog: Mapping[str, Relation]) -> Relation:
+    """Evaluate an algebra expression against named base relations."""
+    if isinstance(expr, Scan):
+        try:
+            return catalog[expr.name]
+        except KeyError:
+            raise RelationError(f"no relation named {expr.name!r}") from None
+    if isinstance(expr, Select):
+        return select_eq(evaluate(expr.inner, catalog), expr.attr, expr.value)
+    if isinstance(expr, Project):
+        return project(evaluate(expr.inner, catalog), expr.attrs)
+    if isinstance(expr, Rename):
+        return rename(evaluate(expr.inner, catalog), {expr.old: expr.new})
+    if isinstance(expr, Join):
+        return natural_join(evaluate(expr.left, catalog), evaluate(expr.right, catalog))
+    if isinstance(expr, Union):
+        return union(evaluate(expr.left, catalog), evaluate(expr.right, catalog))
+    if isinstance(expr, Difference):
+        return difference(evaluate(expr.left, catalog), evaluate(expr.right, catalog))
+    raise TypeError(f"unknown algebra node {type(expr).__name__}")
+
+
+def expr_schema(expr: RelExpr, schemas: Mapping[str, tuple[str, ...]]) -> tuple[str, ...]:
+    """Static schema of an expression (used by the random-term generator
+    to build only well-typed terms)."""
+    if isinstance(expr, Scan):
+        return schemas[expr.name]
+    if isinstance(expr, Select):
+        return expr_schema(expr.inner, schemas)
+    if isinstance(expr, Project):
+        return expr.attrs
+    if isinstance(expr, Rename):
+        inner = expr_schema(expr.inner, schemas)
+        return tuple(expr.new if a == expr.old else a for a in inner)
+    if isinstance(expr, Join):
+        left = expr_schema(expr.left, schemas)
+        right = expr_schema(expr.right, schemas)
+        return left + tuple(a for a in right if a not in left)
+    if isinstance(expr, (Union, Difference)):
+        return expr_schema(expr.left, schemas)
+    raise TypeError(f"unknown algebra node {type(expr).__name__}")

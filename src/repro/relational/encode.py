@@ -1,0 +1,165 @@
+"""Encodings between graphs and relations (sections 2 and 3).
+
+Three encodings from the paper:
+
+* **Graph as edge relation** -- "we can take the database as a large
+  relation of type (node-id, label, node-id)".  The paper immediately
+  lists the complication that labels are heterogeneous; we address it the
+  two ways it suggests: one wide relation with an explicit *kind* column
+  (:func:`graph_to_edge_relation`), or several typed relations, one per
+  label kind (:func:`graph_to_typed_relations`).
+* **Relational database as graph** (section 2: "it is straightforward to
+  encode relational ... databases in this model"): each table becomes a
+  subtree ``root -> <Table> -> tuple -> <attr> -> {value: {}}``
+  (:func:`relational_to_graph`), invertible on its image by
+  :func:`graph_to_relational`.  This encoding is the bridge experiment E4
+  walks across to compare UnQL with the relational algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.graph import Graph
+from ..core.labels import Label, LabelKind, label_of, sym
+from .relation import Relation, RelationError
+
+__all__ = [
+    "graph_to_edge_relation",
+    "graph_to_typed_relations",
+    "edge_relation_to_graph",
+    "relational_to_graph",
+    "graph_to_relational",
+    "EDGE_SCHEMA",
+]
+
+#: Schema of the wide edge relation.
+EDGE_SCHEMA = ("src", "kind", "label", "dst")
+
+
+def graph_to_edge_relation(graph: Graph) -> tuple[Relation, int]:
+    """The (node-id, label, node-id) encoding, with a kind discriminator.
+
+    Returns the relation and the root node id (complication 4 of the
+    paper's list: queries must know the root to restrict themselves to
+    forward-reachable data).
+    """
+    rows = []
+    for node in graph.reachable():
+        for edge in graph.edges_from(node):
+            rows.append((edge.src, edge.label.kind.value, edge.label.value, edge.dst))
+    return Relation(EDGE_SCHEMA, rows), graph.root
+
+
+def graph_to_typed_relations(graph: Graph) -> tuple[dict[str, Relation], int]:
+    """One ``(src, label, dst)`` relation per label kind.
+
+    "Our labels are drawn from a heterogeneous collection of types, so it
+    may be appropriate to use more than one relation."  Keys are the kind
+    names (``symbol``, ``int``...); kinds that never occur are absent.
+    """
+    buckets: dict[str, list[tuple]] = {}
+    for node in graph.reachable():
+        for edge in graph.edges_from(node):
+            buckets.setdefault(edge.label.kind.value, []).append(
+                (edge.src, edge.label.value, edge.dst)
+            )
+    relations = {
+        kind: Relation(("src", "label", "dst"), rows) for kind, rows in buckets.items()
+    }
+    return relations, graph.root
+
+
+def edge_relation_to_graph(rel: Relation, root: int) -> Graph:
+    """Rebuild a graph from the wide edge relation (inverse of the encoding).
+
+    Node ids in the relation are preserved only up to renaming; the result
+    is isomorphic (hence bisimilar) to the original reachable graph.
+    """
+    if rel.schema != EDGE_SCHEMA:
+        raise RelationError(f"expected schema {EDGE_SCHEMA}, got {rel.schema}")
+    g = Graph()
+    mapping: dict[int, int] = {}
+
+    def node_for(old: int) -> int:
+        if old not in mapping:
+            mapping[old] = g.new_node()
+        return mapping[old]
+
+    root_node = node_for(root)
+    g.set_root(root_node)
+    for src, kind, value, dst in sorted(rel.rows, key=repr):
+        label = Label(LabelKind(kind), value)
+        g.add_edge(node_for(src), label, node_for(dst))
+    return g
+
+
+def relational_to_graph(catalog: Mapping[str, Relation]) -> Graph:
+    """Encode a whole relational database as one rooted graph.
+
+    Layout::
+
+        root --<Table>--> table-node --tuple--> tuple-node --<attr>--> {v: {}}
+
+    The ``tuple`` edges carry the same symbol for every row: a relation is
+    a *set* of tuples and the model's edge sets capture that directly.
+    """
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+    for table in sorted(catalog):
+        rel = catalog[table]
+        table_node = g.new_node()
+        g.add_edge(root, sym(table), table_node)
+        for row in sorted(rel.rows, key=repr):
+            tuple_node = g.new_node()
+            g.add_edge(table_node, sym("tuple"), tuple_node)
+            for attr, value in zip(rel.schema, row):
+                value_node = g.new_node()
+                leaf = g.new_node()
+                g.add_edge(tuple_node, sym(attr), value_node)
+                g.add_edge(value_node, label_of(value), leaf)
+    return g
+
+
+def graph_to_relational(graph: Graph) -> dict[str, Relation]:
+    """Decode :func:`relational_to_graph`'s image back into a catalog.
+
+    The schema of each table is the union of attribute names seen in its
+    tuples (sorted); missing attributes raise, because relational data is
+    exactly the structured case where every tuple is total -- a graph that
+    fails this is *semistructured* and has no faithful relational form.
+    """
+    catalog: dict[str, Relation] = {}
+    for table_edge in graph.edges_from(graph.root):
+        if not table_edge.label.is_symbol:
+            raise RelationError("table edges must be symbols")
+        table = str(table_edge.label.value)
+        tuple_nodes = [
+            e.dst for e in graph.edges_from(table_edge.dst) if e.label == sym("tuple")
+        ]
+        attr_names: set[str] = set()
+        raw_rows: list[dict[str, object]] = []
+        for tnode in tuple_nodes:
+            row: dict[str, object] = {}
+            for attr_edge in graph.edges_from(tnode):
+                if not attr_edge.label.is_symbol:
+                    raise RelationError("attribute edges must be symbols")
+                value_edges = graph.edges_from(attr_edge.dst)
+                if len(value_edges) != 1 or not value_edges[0].label.is_base:
+                    raise RelationError(
+                        f"attribute {attr_edge.label!r} does not hold a single scalar"
+                    )
+                row[str(attr_edge.label.value)] = value_edges[0].label.value
+            attr_names.update(row)
+            raw_rows.append(row)
+        schema = tuple(sorted(attr_names))
+        for row in raw_rows:
+            missing = set(schema) - set(row)
+            if missing:
+                raise RelationError(
+                    f"tuple in table {table!r} is missing attributes {sorted(missing)}: "
+                    "the data is semistructured, not relational"
+                )
+        catalog[table] = Relation(schema, (tuple(r[a] for a in schema) for r in raw_rows))
+    return catalog

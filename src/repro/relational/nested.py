@@ -1,0 +1,79 @@
+"""Nest/unnest: the nested-relational extension (section 3's parenthetical).
+
+The paper's expressiveness statement covers "the relational (nested
+relational) algebra"; nesting is what separates the two.  A nested value
+here is a ``frozenset`` of tuples stored in an ordinary attribute --
+relations stay hashable sets of tuples throughout, so every flat operator
+keeps working on nested relations unchanged.
+
+* :func:`nest` groups rows by the retained attributes and folds the rest
+  into one set-valued attribute;
+* :func:`unnest` is its inverse on non-empty groups (the classical
+  ``unnest(nest(R)) = R`` identity, property-tested, and the classical
+  caveat that ``nest`` after ``unnest`` loses empty groups is documented
+  by a test as well).
+
+The tree-level counterparts live in :mod:`repro.unql.relational_bridge`,
+where nesting is literally re-parenting subtrees -- the model's natural
+operation.
+"""
+
+from __future__ import annotations
+
+from .relation import Relation, RelationError
+
+__all__ = ["nest", "unnest"]
+
+
+def nest(rel: Relation, by: "tuple[str, ...] | list[str]", into: str) -> Relation:
+    """Group by ``by``; fold the remaining attributes into set ``into``.
+
+    The nested attribute holds ``frozenset`` of tuples over the folded
+    attributes (in schema order of the folded attribute names, sorted).
+    """
+    by = tuple(by)
+    if into in by:
+        raise RelationError(f"nested attribute {into!r} collides with keys")
+    folded = tuple(sorted(a for a in rel.schema if a not in by))
+    if not folded:
+        raise RelationError("nothing to nest: every attribute is a key")
+    missing = [a for a in by if a not in rel.schema]
+    if missing:
+        raise RelationError(f"unknown key attributes {missing}")
+    by_pos = [rel.attr_pos(a) for a in by]
+    folded_pos = [rel.attr_pos(a) for a in folded]
+    groups: dict[tuple, set[tuple]] = {}
+    for row in rel:
+        key = tuple(row[p] for p in by_pos)
+        groups.setdefault(key, set()).add(tuple(row[p] for p in folded_pos))
+    schema = by + (into,)
+    return Relation(
+        schema, ((key + (frozenset(values),)) for key, values in groups.items())
+    )
+
+
+def unnest(rel: Relation, attr: str, names: "tuple[str, ...] | list[str]") -> Relation:
+    """Explode the set-valued ``attr`` into columns ``names``.
+
+    Each inner tuple must have ``len(names)`` fields; rows whose set is
+    empty vanish (the classical information loss).
+    """
+    names = tuple(names)
+    pos = rel.attr_pos(attr)
+    rest = [a for a in rel.schema if a != attr]
+    rest_pos = [rel.attr_pos(a) for a in rest]
+    overlap = set(names) & set(rest)
+    if overlap:
+        raise RelationError(f"unnested names collide with {sorted(overlap)}")
+    rows = []
+    for row in rel:
+        nested = row[pos]
+        if not isinstance(nested, frozenset):
+            raise RelationError(f"attribute {attr!r} is not set-valued in {row!r}")
+        for inner in nested:
+            if len(inner) != len(names):
+                raise RelationError(
+                    f"inner tuple {inner!r} does not fit names {names}"
+                )
+            rows.append(tuple(row[p] for p in rest_pos) + tuple(inner))
+    return Relation(tuple(rest) + names, rows)

@@ -1,0 +1,125 @@
+"""An ACeDB-style schema language (section 1.1).
+
+"[ACeDB] has a schema language that resembles that of an object-oriented
+DBMS; but this schema imposes only loose constraints on the data."  This
+module implements a small dialect of ACeDB's *model file* syntax and
+compiles it into the simulation-based :class:`~repro.schema.graphschema.
+GraphSchema`, making the paper's observation executable: the same text
+that *looks* like class definitions yields constraints that are only
+upper bounds.
+
+Dialect (one class per ``?Name`` block; indentation is free-form)::
+
+    ?Locus   Locus_name  Text
+             Phenotype   Text
+             Reference   ?Paper
+             Maps_to     ?Map
+             Clone       Tree        // arbitrary-depth subtree allowed
+
+    ?Paper   Author      Text
+             Year        Int
+
+    ?Map     Map_name    Text
+
+Value types: ``Text``, ``Int``, ``Float``, ``Bool`` (type-test leaves),
+``Tree`` (a wildcard self-loop -- "trees of arbitrary depth"), or
+``?Class`` (a reference to another class's node, cycles welcome).
+``//`` starts a comment.  A database conforms when every root edge named
+like a class (``Locus`` edges to Locus-shaped objects...) simulates into
+the compiled schema; unknown attributes violate it, *missing* ones never
+do -- the looseness the paper describes.
+"""
+
+from __future__ import annotations
+
+from ..automata.regex import any_label, exact, type_test
+from ..core.labels import LabelKind
+from .graphschema import GraphSchema, SchemaError
+
+__all__ = ["parse_acedb_model", "AcedbModelError"]
+
+
+class AcedbModelError(ValueError):
+    """Raised on malformed model files."""
+
+
+_VALUE_TYPES = {
+    "Text": LabelKind.STRING,
+    "Int": LabelKind.INT,
+    "Float": LabelKind.REAL,
+    "Bool": LabelKind.BOOL,
+}
+
+
+def _strip_comment(line: str) -> str:
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def parse_acedb_model(text: str) -> GraphSchema:
+    """Compile an ACeDB-style model file into a graph schema.
+
+    The schema root gets one edge per class (labeled by the class name);
+    each attribute line adds an edge from the class node to a value node
+    of the declared type, or to another class's node for ``?Class``
+    references.
+    """
+    # pass 1: collect class blocks
+    classes: dict[str, list[tuple[str, str]]] = {}
+    current: "str | None" = None
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0].startswith("?"):
+            current = tokens[0][1:]
+            if not current:
+                raise AcedbModelError("empty class name '?'")
+            if current in classes:
+                raise AcedbModelError(f"class ?{current} defined twice")
+            classes[current] = []
+            tokens = tokens[1:]
+        if not tokens:
+            continue
+        if current is None:
+            raise AcedbModelError(f"attribute line before any class: {line!r}")
+        if len(tokens) != 2:
+            raise AcedbModelError(
+                f"expected 'Attribute Type' in class ?{current}, got {line!r}"
+            )
+        classes[current].append((tokens[0], tokens[1]))
+    if not classes:
+        raise AcedbModelError("model file defines no classes")
+
+    # pass 2: build the schema graph
+    schema = GraphSchema()
+    root = schema.new_node()
+    schema.set_root(root)
+    class_node = {name: schema.new_node() for name in classes}
+    for name, node in class_node.items():
+        schema.add_edge(root, exact(name), node)
+    for name, attributes in classes.items():
+        node = class_node[name]
+        for attr, value_type in attributes:
+            if value_type.startswith("?"):
+                target_class = value_type[1:]
+                if target_class not in class_node:
+                    raise AcedbModelError(
+                        f"class ?{name} references undefined ?{target_class}"
+                    )
+                schema.add_edge(node, exact(attr), class_node[target_class])
+            elif value_type == "Tree":
+                anything = schema.new_node()
+                schema.add_edge(node, exact(attr), anything)
+                schema.add_edge(anything, any_label(), anything)
+            elif value_type in _VALUE_TYPES:
+                holder = schema.new_node()
+                leaf = schema.new_node()
+                schema.add_edge(node, exact(attr), holder)
+                schema.add_edge(holder, type_test(_VALUE_TYPES[value_type]), leaf)
+            else:
+                raise AcedbModelError(
+                    f"unknown value type {value_type!r} for ?{name}.{attr}"
+                )
+    return schema

@@ -1,0 +1,78 @@
+"""Schema extraction: discovering structure in schema-free data (section 5).
+
+"One of the main attractions of semistructured data is that it is
+unconstrained.  Nevertheless, it may be appropriate to impose (or to
+*discover*) some form of structure in the data."  This module discovers a
+:class:`~repro.schema.graphschema.GraphSchema` from a database:
+
+1. summarize the database (k-bisimulation quotient, k configurable --
+   ``None`` means full bisimulation);
+2. lift each summary edge to a schema predicate: symbols stay exact, base
+   data generalizes to its *type test* (all the strings under ``Title``
+   become one ``<string>`` edge).
+
+The result always simulates the data it was inferred from (property-tested
+conformance), and it is useful exactly as the paper says: browsing,
+partial answers, and the passage back toward structured form
+(:mod:`repro.schema.to_relational`).
+"""
+
+from __future__ import annotations
+
+from ..automata.regex import LabelPredicate, exact, type_test
+from ..core.bisim import reduce_graph
+from ..core.graph import Graph
+from ..core.labels import Label, LabelKind, sym
+from .graphschema import GraphSchema
+from .representative import representative_object
+
+__all__ = ["infer_schema", "generalize_label"]
+
+
+def generalize_label(label: Label) -> LabelPredicate:
+    """The schema predicate for one observed label.
+
+    Attribute names are structural and stay exact; data values generalize
+    to their dynamic type, mirroring the static/dynamic analogy of
+    section 2.
+    """
+    if label.is_symbol:
+        return exact(label)
+    return type_test(label.kind)
+
+
+def infer_schema(graph: Graph, k: "int | None" = None) -> GraphSchema:
+    """Infer a graph schema the database conforms to.
+
+    ``k`` bounds the summarization depth (degree-k representative object);
+    ``None`` uses the full bisimulation reduction, giving the most precise
+    schema this construction can produce.
+
+    Generalization happens *before* summarization: every base-data label
+    is first abstracted to a per-kind marker, so ``Title: "Casablanca"``
+    and ``Title: "Vertigo"`` collapse into one ``Title.<string>`` schema
+    edge -- this is what keeps inferred schemas small on regular data.
+    Generalizing can only loosen the summary, so conformance by simulation
+    is guaranteed.
+    """
+    kind_marker = {kind: sym(f"@{kind.value}") for kind in LabelKind}
+    marker_kind = {marker: kind for kind, marker in kind_marker.items()}
+    abstracted = graph.map_labels(
+        lambda lab: kind_marker[lab.kind] if lab.is_base else lab
+    )
+    summary = (
+        reduce_graph(abstracted) if k is None else representative_object(abstracted, k)
+    )
+    schema = GraphSchema()
+    node_of = {n: schema.new_node() for n in sorted(summary.reachable())}
+    schema.set_root(node_of[summary.root])
+    seen: set[tuple[int, LabelPredicate, int]] = set()
+    for n in sorted(summary.reachable()):
+        for edge in summary.edges_from(n):
+            kind = marker_kind.get(edge.label)
+            predicate = exact(edge.label) if kind is None else type_test(kind)
+            key = (node_of[n], predicate, node_of[edge.dst])
+            if key not in seen:
+                seen.add(key)
+                schema.add_edge(*key)
+    return schema

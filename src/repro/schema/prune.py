@@ -1,0 +1,124 @@
+"""Schema-based query pruning (section 5, [20] Fernandez & Suciu).
+
+"In [20] schemas are used for further optimization."  The idea: run the
+query's path automaton over the *schema* instead of the data.  If no
+accepting path exists in the schema, then -- provided the data conforms --
+no accepting path exists in the data either, and the query is answered
+empty without touching the database.  When the schema does admit the path,
+the set of schema nodes reached restricts which data nodes can possibly be
+answers (via the simulation classification), shrinking the search.
+
+Soundness note: schema edges carry *predicates*, and the query regex's own
+atoms are predicates too.  We need "could some label satisfy both?".  For
+the predicate kinds in this codebase that intersection test is decidable
+(:func:`predicates_may_overlap`); where it cannot be decided exactly we
+answer True, which keeps pruning conservative (never wrong, sometimes
+weaker).
+"""
+
+from __future__ import annotations
+
+from ..automata.nfa import build_nfa
+from ..automata.product import compile_rpq, rpq_nodes
+from ..automata.regex import LabelPredicate, PathRegex, parse_path_regex
+from ..core.graph import Graph
+from ..core.labels import LabelKind
+from .graphschema import GraphSchema
+
+__all__ = ["predicates_may_overlap", "schema_reachable_states", "pruned_rpq_nodes"]
+
+
+def predicates_may_overlap(a: LabelPredicate, b: LabelPredicate) -> bool:
+    """Could any single label satisfy both predicates?  (Conservative.)"""
+    if a.kind == "any" or b.kind == "any":
+        return True
+    if a.kind == "not" or b.kind == "not":
+        # exact vs not-exact is decidable; other negations: be conservative
+        inner_a = a.payload[0] if a.kind == "not" else None
+        inner_b = b.payload[0] if b.kind == "not" else None
+        if a.kind == "not" and b.is_exact:
+            return not inner_a.matches(b.exact_label)
+        if b.kind == "not" and a.is_exact:
+            return not inner_b.matches(a.exact_label)
+        return True
+    if a.is_exact and b.is_exact:
+        return a.exact_label == b.exact_label
+    if a.is_exact:
+        return b.matches(a.exact_label)
+    if b.is_exact:
+        return a.matches(b.exact_label)
+    kind_a = _kind_of(a)
+    kind_b = _kind_of(b)
+    if kind_a is not None and kind_b is not None and kind_a is not kind_b:
+        return False
+    if a.kind == "type" or b.kind == "type":
+        return True
+    # two globs over the same kind: exact emptiness of the intersection of
+    # two wildcard languages is decidable but fiddly; stay conservative
+    # except for the easy literal-prefix disagreement.
+    pat_a, pat_b = str(a.payload[0]), str(b.payload[0])
+    pre_a = pat_a.split("*", 1)[0]
+    pre_b = pat_b.split("*", 1)[0]
+    overlap = min(len(pre_a), len(pre_b))
+    return pre_a[:overlap] == pre_b[:overlap]
+
+
+def _kind_of(p: LabelPredicate) -> LabelKind | None:
+    if p.kind == "glob-symbol":
+        return LabelKind.SYMBOL
+    if p.kind == "glob-string":
+        return LabelKind.STRING
+    if p.kind == "type":
+        return p.payload[0]
+    return None
+
+
+def schema_reachable_states(schema: GraphSchema, regex: "PathRegex | str") -> set[int]:
+    """Schema nodes reachable by a path the regex *could* accept.
+
+    Product of the query NFA with the schema graph, using
+    :func:`predicates_may_overlap` as the step test.  An empty result
+    proves (for conforming data) that the data-level query is empty.
+    """
+    if isinstance(regex, str):
+        regex = parse_path_regex(regex)
+    nfa = build_nfa(regex)
+    start = (schema.root, nfa.initial())
+    seen = {start}
+    stack = [start]
+    results: set[int] = set()
+    if nfa.is_accepting(start[1]):
+        results.add(schema.root)
+    while stack:
+        snode, states = stack.pop()
+        for edge in schema.edges_from(snode):
+            nxt_states = set()
+            for q in states:
+                for predicate, target in nfa.transitions[q]:
+                    if predicates_may_overlap(predicate, edge.predicate):
+                        nxt_states.add(target)
+            closed = nfa.eps_closure(nxt_states)
+            if not closed:
+                continue
+            config = (edge.dst, closed)
+            if config in seen:
+                continue
+            seen.add(config)
+            if nfa.is_accepting(closed):
+                results.add(edge.dst)
+            stack.append(config)
+    return results
+
+
+def pruned_rpq_nodes(
+    data: Graph, schema: GraphSchema, pattern: "PathRegex | str"
+) -> set[int]:
+    """RPQ evaluation with the schema-prune fast path.
+
+    Requires that ``data`` conforms to ``schema`` (the caller's contract,
+    as in [20]).  If the schema rules the path out, returns empty with no
+    data traversal; otherwise falls back to the ordinary product.
+    """
+    if not schema_reachable_states(schema, pattern):
+        return set()
+    return rpq_nodes(data, compile_rpq(pattern))

@@ -1,0 +1,101 @@
+"""Representative objects: bounded-depth structural summaries (section 5, [31]).
+
+Nestorov-Ullman-Wiener-Chawathe: a *degree-k representative object*
+concisely represents all label paths of length up to ``k`` through every
+object of the database.  The construction here is the classical one by
+**k-bisimulation**: two nodes are k-equivalent when their outgoing label
+trees agree to depth k; the degree-k RO is the quotient of the database by
+that equivalence.
+
+* ``k = 0`` collapses everything to one node;
+* growing ``k`` refines the summary monotonically;
+* in the limit (k >= number of nodes) the quotient equals the full
+  bisimulation reduction of :func:`repro.core.bisim.reduce_graph`, the
+  "full representative object".
+
+The RO supports the same path-existence queries as a DataGuide but trades
+exactness beyond depth k for a size that is at most the database's, often
+far smaller (experiment E7/E10 compare them).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import Graph
+from ..core.labels import Label
+
+__all__ = ["k_bisimulation", "representative_object", "ro_path_exists"]
+
+
+def k_bisimulation(graph: Graph, k: int) -> dict[int, int]:
+    """Partition the reachable nodes by depth-``k`` bisimilarity.
+
+    Returns node -> block id.  Round ``i`` refines by the (label, block)
+    signature of round ``i-1``; after ``k`` rounds two nodes share a block
+    iff their unfoldings agree to depth ``k``.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    reach = sorted(graph.reachable())
+    block = {n: 0 for n in reach}
+    for _ in range(k):
+        renumber: dict[tuple, int] = {}
+        nxt: dict[int, int] = {}
+        for n in reach:
+            signature = (
+                block[n],
+                frozenset((e.label, block[e.dst]) for e in graph.edges_from(n)),
+            )
+            if signature not in renumber:
+                renumber[signature] = len(renumber)
+            nxt[n] = renumber[signature]
+        if len(set(nxt.values())) == len(set(block.values())):
+            block = nxt
+            break
+        block = nxt
+    return block
+
+
+def representative_object(graph: Graph, k: int) -> Graph:
+    """The degree-``k`` representative object: the k-bisimulation quotient.
+
+    Every label path of length <= k existing in the database exists in the
+    RO and vice versa (soundness and completeness to depth k); longer
+    paths in the RO may be spurious -- that is the advertised trade-off.
+    """
+    block = k_bisimulation(graph, k)
+    out = Graph()
+    node_of: dict[int, int] = {}
+    for n in sorted(graph.reachable()):
+        b = block[n]
+        if b not in node_of:
+            node_of[b] = out.new_node()
+    out.set_root(node_of[block[graph.root]])
+    seen: set[tuple[int, Label, int]] = set()
+    for n in sorted(graph.reachable()):
+        src = node_of[block[n]]
+        for e in graph.edges_from(n):
+            key = (src, e.label, node_of[block[e.dst]])
+            if key not in seen:
+                seen.add(key)
+                out.add_edge(*key)
+    return out
+
+
+def ro_path_exists(ro: Graph, path: tuple[Label, ...]) -> bool:
+    """Does a label path exist in the representative object?
+
+    Sound and complete for ``len(path) <= k`` of the RO's construction;
+    beyond that it may report paths the database does not have (but never
+    misses one the database does have).
+    """
+    frontier = {ro.root}
+    for label in path:
+        nxt: set[int] = set()
+        for node in frontier:
+            for edge in ro.edges_from(node):
+                if edge.label == label:
+                    nxt.add(edge.dst)
+        if not nxt:
+            return False
+        frontier = nxt
+    return True

@@ -1,0 +1,99 @@
+"""Simulation: the conformance relation between data and schema.
+
+Section 5: "In [8] a schema is defined as a graph whose edges are labeled
+with predicates and the property of *simulation* is used to describe the
+relationship between data and schema."  A data node ``d`` is simulated by a
+schema node ``s`` when every edge out of ``d`` can be matched by some
+predicate edge out of ``s`` whose target simulates the edge's target::
+
+    d <= s   iff   for all d --l--> d'  exists  s --p--> s'
+                   with p(l) and d' <= s'
+
+Data *conforms* to a schema when the data root is simulated by the schema
+root.  Simulation is weaker than bisimulation (it only constrains, never
+requires, structure), which is exactly why it fits schemas that "only place
+loose constraints on the data".
+
+The computation is the standard coinductive fixpoint: start from the full
+relation and delete violating pairs until stable -- ``O(|sim| * E_d * E_s)``
+worst case, fine at tutorial scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.graph import Graph
+from ..core.labels import Label
+
+__all__ = ["maximal_simulation", "simulates", "graph_simulation"]
+
+#: edge-match oracle: does schema edge j accept data label l?
+EdgeMatcher = Callable[[int, Label], "list[int]"]
+
+
+def maximal_simulation(
+    data: Graph,
+    schema_nodes: "list[int]",
+    schema_moves: Callable[[int, Label], "list[int]"],
+) -> set[tuple[int, int]]:
+    """The largest simulation of ``data`` by an abstract schema graph.
+
+    ``schema_moves(s, l)`` returns the schema nodes reachable from schema
+    node ``s`` by an edge whose predicate accepts label ``l`` (this
+    indirection lets :class:`~repro.schema.graphschema.GraphSchema` and
+    plain graphs share the algorithm).
+
+    Returns all pairs ``(data node, schema node)`` in the relation.
+    """
+    data_nodes = sorted(data.reachable())
+    sim: set[tuple[int, int]] = {
+        (d, s) for d in data_nodes for s in schema_nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for d in data_nodes:
+            for s in schema_nodes:
+                if (d, s) not in sim:
+                    continue
+                ok = True
+                for edge in data.edges_from(d):
+                    if not any(
+                        (edge.dst, s2) in sim for s2 in schema_moves(s, edge.label)
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    sim.discard((d, s))
+                    changed = True
+    return sim
+
+
+def simulates(
+    data: Graph,
+    schema_nodes: "list[int]",
+    schema_moves: Callable[[int, Label], "list[int]"],
+    data_node: int,
+    schema_node: int,
+) -> bool:
+    """Is one particular data node simulated by one schema node?"""
+    return (data_node, schema_node) in maximal_simulation(
+        data, schema_nodes, schema_moves
+    )
+
+
+def graph_simulation(small: Graph, big: Graph) -> set[tuple[int, int]]:
+    """Simulation between two plain data graphs (exact label matching).
+
+    ``(a, b)`` in the result means node ``a`` of ``small`` is simulated by
+    node ``b`` of ``big``: everything ``a`` can do, ``b`` can do.  Used to
+    compare schemas with each other and in the E10 equality study
+    (simulation vs bisimulation vs automata equivalence).
+    """
+    big_nodes = sorted(big.reachable())
+
+    def moves(s: int, label: Label) -> list[int]:
+        return [e.dst for e in big.edges_from(s) if e.label == label]
+
+    return maximal_simulation(small, big_nodes, moves)

@@ -1,0 +1,13 @@
+"""Persistent storage for semistructured data (section 4)."""
+
+from .serializer import SerializationError, dumps, loads
+from .store import GraphStore, PageCache, traversal_page_faults
+
+__all__ = [
+    "dumps",
+    "loads",
+    "SerializationError",
+    "GraphStore",
+    "PageCache",
+    "traversal_page_faults",
+]

@@ -1,0 +1,167 @@
+"""Binary serialization of edge-labeled graphs.
+
+The storage layer's wire format: a compact, self-contained encoding of the
+reachable part of a graph.  Node ids are renumbered densely; labels are
+encoded with one kind byte plus a kind-specific payload; all integers are
+unsigned LEB128 varints (small graphs stay small).  The format carries no
+object identity beyond graph structure -- exactly the observability the
+model grants (section 2).
+
+Format::
+
+    magic "SSD1"
+    varint num_nodes
+    varint root
+    repeated num_nodes times:
+        varint out_degree
+        repeated out_degree times: label, varint dst
+    label := kind byte ('i','r','s','b','y') + payload
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.graph import Graph
+from ..core.labels import Label, LabelKind
+
+__all__ = ["dumps", "loads", "serialize_node_record", "SerializationError"]
+
+_MAGIC = b"SSD1"
+
+_KIND_BYTES = {
+    LabelKind.INT: b"i",
+    LabelKind.REAL: b"r",
+    LabelKind.STRING: b"s",
+    LabelKind.BOOL: b"b",
+    LabelKind.SYMBOL: b"y",
+}
+_BYTE_KINDS = {v: k for k, v in _KIND_BYTES.items()}
+
+
+class SerializationError(ValueError):
+    """Raised on corrupt or unsupported serialized data."""
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise SerializationError(f"varints are unsigned, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_label(out: bytearray, label: Label) -> None:
+    out += _KIND_BYTES[label.kind]
+    if label.kind is LabelKind.INT:
+        # zigzag for signed ints
+        value = int(label.value)
+        _write_varint(out, (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1)
+    elif label.kind is LabelKind.REAL:
+        out += struct.pack("<d", float(label.value))
+    elif label.kind is LabelKind.BOOL:
+        out.append(1 if label.value else 0)
+    else:  # STRING / SYMBOL
+        encoded = str(label.value).encode("utf-8")
+        _write_varint(out, len(encoded))
+        out += encoded
+
+
+def _read_label(data: bytes, pos: int) -> tuple[Label, int]:
+    if pos >= len(data):
+        raise SerializationError("truncated label")
+    kind_byte = data[pos : pos + 1]
+    pos += 1
+    kind = _BYTE_KINDS.get(kind_byte)
+    if kind is None:
+        raise SerializationError(f"unknown label kind byte {kind_byte!r}")
+    if kind is LabelKind.INT:
+        raw, pos = _read_varint(data, pos)
+        value = (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+        return Label(kind, value), pos
+    if kind is LabelKind.REAL:
+        if pos + 8 > len(data):
+            raise SerializationError("truncated real")
+        (value,) = struct.unpack_from("<d", data, pos)
+        return Label(kind, value), pos + 8
+    if kind is LabelKind.BOOL:
+        if pos >= len(data):
+            raise SerializationError("truncated bool")
+        return Label(kind, bool(data[pos])), pos + 1
+    length, pos = _read_varint(data, pos)
+    if pos + length > len(data):
+        raise SerializationError("truncated string")
+    text = data[pos : pos + length].decode("utf-8")
+    return Label(kind, text), pos + length
+
+
+def dumps(graph: Graph) -> bytes:
+    """Serialize the reachable part of ``graph``."""
+    reach = sorted(graph.reachable())
+    renumber = {node: i for i, node in enumerate(reach)}
+    out = bytearray(_MAGIC)
+    _write_varint(out, len(reach))
+    _write_varint(out, renumber[graph.root])
+    for node in reach:
+        edges = [e for e in graph.edges_from(node) if e.dst in renumber]
+        _write_varint(out, len(edges))
+        for edge in edges:
+            _write_label(out, edge.label)
+            _write_varint(out, renumber[edge.dst])
+    return bytes(out)
+
+
+def loads(data: bytes) -> Graph:
+    """Reconstruct a graph serialized by :func:`dumps`."""
+    if data[:4] != _MAGIC:
+        raise SerializationError("bad magic: not an SSD1 graph")
+    pos = 4
+    num_nodes, pos = _read_varint(data, pos)
+    root, pos = _read_varint(data, pos)
+    g = Graph()
+    nodes = [g.new_node() for _ in range(num_nodes)]
+    if root >= num_nodes:
+        raise SerializationError("root out of range")
+    g.set_root(nodes[root])
+    for node in nodes:
+        degree, pos = _read_varint(data, pos)
+        for _ in range(degree):
+            label, pos = _read_label(data, pos)
+            dst, pos = _read_varint(data, pos)
+            if dst >= num_nodes:
+                raise SerializationError("edge target out of range")
+            g.add_edge(node, label, nodes[dst])
+    if pos != len(data):
+        raise SerializationError("trailing bytes after graph")
+    return g
+
+
+def serialize_node_record(graph: Graph, node: int, renumber: dict[int, int]) -> bytes:
+    """One node's out-edge record (the unit the record store pages)."""
+    out = bytearray()
+    _write_varint(out, renumber[node])
+    edges = [e for e in graph.edges_from(node) if e.dst in renumber]
+    _write_varint(out, len(edges))
+    for edge in edges:
+        _write_label(out, edge.label)
+        _write_varint(out, renumber[edge.dst])
+    return bytes(out)

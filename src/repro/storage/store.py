@@ -1,0 +1,206 @@
+"""A paged record store with clustering: the physical layer of section 4.
+
+"In the second case [storing semistructured data directly], disk layout
+and clustering, together with appropriate indexing, is also important."
+
+:class:`GraphStore` lays one record per node (its out-edge list) into
+fixed-size pages.  The *clustering order* decides which records share a
+page:
+
+* ``dfs``    -- parents packed next to their subtrees: traversals touch
+  few pages (the layout Lore-style systems use);
+* ``bfs``    -- level order: good for shallow scans;
+* ``random`` -- the adversarial baseline E12 compares against.
+
+:class:`PageCache` is an LRU buffer over the store's pages; traversal
+helpers count page faults so the clustering effect is measurable without
+real disks (the substitution DESIGN.md documents).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.graph import Graph
+from .serializer import SerializationError, dumps, loads, serialize_node_record
+
+__all__ = ["GraphStore", "PageCache", "traversal_page_faults"]
+
+
+@dataclass
+class _Record:
+    node: int
+    page: int
+    offset: int
+    length: int
+
+
+class GraphStore:
+    """Node records packed into fixed-size pages in a chosen order."""
+
+    def __init__(self, graph: Graph, clustering: str = "dfs", page_size: int = 4096,
+                 seed: int = 0) -> None:
+        if page_size < 64:
+            raise ValueError("page_size too small to hold records")
+        self.page_size = page_size
+        self.clustering = clustering
+        self._graph = graph
+        reach = sorted(graph.reachable())
+        self._renumber = {node: i for i, node in enumerate(reach)}
+        order = self._order_nodes(graph, clustering, seed)
+        self.pages: list[bytearray] = [bytearray()]
+        self._records: dict[int, _Record] = {}
+        for node in order:
+            record = serialize_node_record(graph, node, self._renumber)
+            if len(record) > page_size:
+                # oversized record: gets its own page (and spills logically)
+                self.pages.append(bytearray(record))
+                page = len(self.pages) - 1
+                self._records[node] = _Record(node, page, 0, len(record))
+                self.pages.append(bytearray())
+                continue
+            if len(self.pages[-1]) + len(record) > page_size:
+                self.pages.append(bytearray())
+            page = len(self.pages) - 1
+            offset = len(self.pages[-1])
+            self.pages[-1] += record
+            self._records[node] = _Record(node, page, offset, len(record))
+
+    @staticmethod
+    def _order_nodes(graph: Graph, clustering: str, seed: int) -> list[int]:
+        if clustering == "dfs":
+            order: list[int] = []
+            seen = {graph.root}
+            stack = [graph.root]
+            while stack:
+                node = stack.pop()
+                order.append(node)
+                for edge in reversed(graph.edges_from(node)):
+                    if edge.dst not in seen:
+                        seen.add(edge.dst)
+                        stack.append(edge.dst)
+            return order
+        if clustering == "bfs":
+            from collections import deque
+
+            order = []
+            seen = {graph.root}
+            queue = deque([graph.root])
+            while queue:
+                node = queue.popleft()
+                order.append(node)
+                for edge in graph.edges_from(node):
+                    if edge.dst not in seen:
+                        seen.add(edge.dst)
+                        queue.append(edge.dst)
+            return order
+        if clustering == "random":
+            order = sorted(graph.reachable())
+            random.Random(seed).shuffle(order)
+            return order
+        raise ValueError(f"unknown clustering {clustering!r}")
+
+    # -- access ------------------------------------------------------------------
+
+    def page_of(self, node: int) -> int:
+        return self._records[node].page
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(len(p) for p in self.pages)
+
+    def occupancy(self) -> float:
+        """Mean fill fraction of the store's pages."""
+        if not self.pages:
+            return 0.0
+        return self.bytes_used / (self.num_pages * self.page_size)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: "str | Path") -> None:
+        """Write the whole graph to disk (serialized form + page layout).
+
+        The on-disk format is the plain SSD1 serialization; the page
+        layout is a run-time artifact rebuilt on load with the same
+        clustering parameters.
+        """
+        Path(path).write_bytes(dumps(self._graph))
+
+    @classmethod
+    def load(
+        cls, path: "str | Path", clustering: str = "dfs", page_size: int = 4096
+    ) -> "GraphStore":
+        graph = loads(Path(path).read_bytes())
+        return cls(graph, clustering=clustering, page_size=page_size)
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+
+class PageCache:
+    """An LRU buffer pool over a store's pages, counting faults."""
+
+    def __init__(self, store: GraphStore, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache needs at least one frame")
+        self._store = store
+        self._capacity = capacity
+        self._frames: OrderedDict[int, bytearray] = OrderedDict()
+        self.faults = 0
+        self.hits = 0
+
+    def read_node(self, node: int) -> None:
+        """Touch the page holding ``node``'s record."""
+        page = self._store.page_of(node)
+        if page in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page)
+            return
+        self.faults += 1
+        self._frames[page] = self._store.pages[page]
+        if len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+
+
+def traversal_page_faults(
+    store: GraphStore, cache_pages: int = 8, order: str = "dfs"
+) -> int:
+    """Page faults of a full traversal through an LRU cache.
+
+    The E12 measurement: the same logical traversal against differently
+    clustered stores shows how much layout matters.
+    """
+    graph = store.graph
+    cache = PageCache(store, cache_pages)
+    seen = {graph.root}
+    if order == "dfs":
+        stack = [graph.root]
+        while stack:
+            node = stack.pop()
+            cache.read_node(node)
+            for edge in reversed(graph.edges_from(node)):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+    elif order == "bfs":
+        from collections import deque
+
+        queue = deque([graph.root])
+        while queue:
+            node = queue.popleft()
+            cache.read_node(node)
+            for edge in graph.edges_from(node):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    queue.append(edge.dst)
+    else:
+        raise ValueError(f"unknown traversal order {order!r}")
+    return cache.faults

@@ -1,0 +1,200 @@
+"""Abstract syntax of the UnQL select/where fragment.
+
+The surface form follows the paper's description of UnQL's "select"
+fragment: a *construct* template built from the tree constructors, a list
+of *binding* clauses that pattern-match the database, and *conditions* over
+the bound variables.  Pattern edges may be general path expressions (the
+regular expressions of section 3) and a ``\\x`` edge position binds a label
+variable -- "label variables, tree variables and possibly path variables
+are needed to express a reasonable set of queries".
+
+Example (the paper's movie database)::
+
+    select {Result: \\t}
+    where {Entry.Movie: {Title: \\t, Cast.#: "Allen"}} in db
+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..automata.regex import PathRegex
+from ..core.labels import Label
+
+__all__ = [
+    "Query",
+    "Pattern",
+    "PatternMember",
+    "EdgeSpec",
+    "RegexEdge",
+    "LabelVarEdge",
+    "TargetSpec",
+    "TreeVar",
+    "NestedPattern",
+    "LiteralTarget",
+    "Binding",
+    "Condition",
+    "Comparison",
+    "LikeCondition",
+    "TypeCheck",
+    "Construct",
+    "ConstructVar",
+    "ConstructLiteral",
+    "ConstructTree",
+    "ConstructUnion",
+    "ConstructLabel",
+]
+
+
+# -- patterns ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegexEdge:
+    """An edge position constrained by a path regular expression."""
+
+    regex: PathRegex
+    text: str  # original source text, for error messages / optimizer
+
+
+@dataclass(frozen=True)
+class LabelVarEdge:
+    """An edge position that binds the edge's label to a variable."""
+
+    var: str
+
+
+EdgeSpec = Union[RegexEdge, LabelVarEdge]
+
+
+@dataclass(frozen=True)
+class TreeVar:
+    """Target ``\\t``: bind the reached node as a tree variable."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class LiteralTarget:
+    """Target literal: the reached node must encode this scalar value."""
+
+    label: Label
+
+
+@dataclass(frozen=True)
+class NestedPattern:
+    """Target sub-pattern, matched at the reached node."""
+
+    pattern: "Pattern"
+
+
+TargetSpec = Union[TreeVar, LiteralTarget, NestedPattern]
+
+
+@dataclass(frozen=True)
+class PatternMember:
+    edge: EdgeSpec
+    target: TargetSpec
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """``{ member, member, ... }`` -- all members must match (conjunction)."""
+
+    members: tuple[PatternMember, ...]
+
+
+@dataclass(frozen=True)
+class Binding:
+    """``pattern in source``: match the pattern against a database root
+    (``source`` names a keyword argument of :func:`repro.unql.unql`) or
+    against a previously bound tree variable (``in \\t``)."""
+
+    pattern: Pattern
+    source: str
+    source_is_var: bool = False
+
+
+# -- conditions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``\\x op literal`` or ``\\x op \\y`` with op in = != < <= > >=."""
+
+    left: "str | Label"
+    op: str
+    right: "str | Label"
+    left_is_var: bool = True
+    right_is_var: bool = False
+
+
+@dataclass(frozen=True)
+class LikeCondition:
+    """``\\x like "pat%"`` -- ``%``-wildcard match on the textual value."""
+
+    var: str
+    pattern: str
+
+
+@dataclass(frozen=True)
+class TypeCheck:
+    """``isint(\\x)`` etc. -- the dynamic type predicates of section 2."""
+
+    func: str
+    var: str
+
+
+Condition = Union[Comparison, LikeCondition, TypeCheck]
+
+
+# -- constructs --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstructVar:
+    """``\\t``: splice the tree bound to the variable."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class ConstructLiteral:
+    """A scalar: the singleton ``{v: {}}``."""
+
+    label: Label
+
+
+@dataclass(frozen=True)
+class ConstructLabel:
+    """An edge label in a construct: fixed, or a bound label variable."""
+
+    label: Label | None = None
+    var: str | None = None
+
+
+@dataclass(frozen=True)
+class ConstructTree:
+    """``{ l1: c1, l2: c2, ... }``."""
+
+    members: tuple[tuple[ConstructLabel, "Construct"], ...]
+
+
+@dataclass(frozen=True)
+class ConstructUnion:
+    left: "Construct"
+    right: "Construct"
+
+
+Construct = Union[ConstructVar, ConstructLiteral, ConstructTree, ConstructUnion]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full ``select ... where ...`` query."""
+
+    construct: Construct
+    bindings: tuple[Binding, ...]
+    conditions: tuple[Condition, ...]

@@ -1,0 +1,355 @@
+r"""Parser for the UnQL select/where surface syntax.
+
+Grammar (whitespace-insensitive)::
+
+    query     := 'select' construct ('where' clause (',' clause)*)?
+    clause    := pattern 'in' source        -- a binding
+               | condition
+    source    := IDENT | '\' IDENT
+    pattern   := '{' member (',' member)* '}'
+    member    := edgespec ':' target
+    edgespec  := '\' IDENT                  -- label variable
+               | PATHREGEX                  -- see repro.automata.regex
+    target    := '\' IDENT | pattern | literal
+    condition := TYPECHECK '(' '\' IDENT ')'
+               | operand 'like' STRING
+               | operand OP operand         -- OP in = != < <= > >=
+    operand   := '\' IDENT | literal
+    construct := catom ('union' catom)*
+    catom     := '{' cmember (',' cmember)* '}' | '\' IDENT | literal | '(' construct ')'
+    cmember   := clabel ':' construct
+    clabel    := IDENT | `backquoted` | STRING | NUMBER | '\' IDENT
+    literal   := STRING | NUMBER | 'true' | 'false'
+
+The edge specification inside a pattern member is handed verbatim to the
+path-regex parser, so every general path expression (``Entry.Movie``,
+``#``, ``(!Movie)*`` ...) works as an edge constraint.
+"""
+
+from __future__ import annotations
+
+from ..automata.regex import parse_path_regex
+from ..core.labels import Label, boolean, integer, real, string, sym
+from .ast import (
+    Binding,
+    Comparison,
+    Condition,
+    Construct,
+    ConstructLabel,
+    ConstructLiteral,
+    ConstructTree,
+    ConstructUnion,
+    ConstructVar,
+    LabelVarEdge,
+    LikeCondition,
+    LiteralTarget,
+    NestedPattern,
+    Pattern,
+    PatternMember,
+    Query,
+    RegexEdge,
+    TreeVar,
+    TypeCheck,
+)
+
+__all__ = ["parse_query", "UnqlSyntaxError"]
+
+
+class UnqlSyntaxError(ValueError):
+    """Raised on malformed UnQL query text."""
+
+
+_TYPE_CHECKS = {"isint", "isreal", "isstring", "isbool", "issymbol", "isleaf"}
+_OPS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+class _P:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ------------------------------------------------------------
+
+    def err(self, message: str) -> UnqlSyntaxError:
+        return UnqlSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def eat(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.err(f"expected {ch!r}")
+        self.pos += 1
+
+    def at_word(self, word: str) -> bool:
+        self.skip_ws()
+        end = self.pos + len(word)
+        if self.text[self.pos : end].lower() != word:
+            return False
+        return end >= len(self.text) or not (
+            self.text[end].isalnum() or self.text[end] == "_"
+        )
+
+    def eat_word(self, word: str) -> None:
+        if not self.at_word(word):
+            raise self.err(f"expected keyword {word!r}")
+        self.pos += len(word)
+
+    def ident(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise self.err("expected an identifier")
+        return self.text[start : self.pos]
+
+    def quoted(self) -> str:
+        quote = self.peek()
+        self.pos += 1
+        out = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.err("unterminated string")
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == quote:
+                return "".join(out)
+            if ch == "\\" and self.pos < len(self.text):
+                ch = self.text[self.pos]
+                self.pos += 1
+            out.append(ch)
+
+    def number(self) -> Label:
+        self.skip_ws()
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isdigit() or self.text[self.pos] in ".eE"
+        ):
+            self.pos += 1
+        text = self.text[start : self.pos]
+        try:
+            if any(c in text for c in ".eE"):
+                return real(float(text))
+            return integer(int(text))
+        except ValueError:
+            raise self.err(f"bad number {text!r}") from None
+
+    def literal(self) -> Label:
+        ch = self.peek()
+        if ch in "\"'":
+            return string(self.quoted())
+        if self.at_word("true"):
+            self.eat_word("true")
+            return boolean(True)
+        if self.at_word("false"):
+            self.eat_word("false")
+            return boolean(False)
+        if ch.isdigit() or ch == "-":
+            return self.number()
+        raise self.err("expected a literal")
+
+    # -- query ------------------------------------------------------------------
+
+    def query(self) -> Query:
+        self.eat_word("select")
+        construct = self.construct()
+        bindings: list[Binding] = []
+        conditions: list[Condition] = []
+        if self.at_word("where"):
+            self.eat_word("where")
+            while True:
+                if self.peek() == "{":
+                    bindings.append(self.binding())
+                else:
+                    conditions.append(self.condition())
+                if self.peek() == ",":
+                    self.eat(",")
+                    continue
+                break
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.err("trailing input")
+        if not bindings and conditions:
+            raise UnqlSyntaxError("conditions require at least one binding clause")
+        return Query(construct, tuple(bindings), tuple(conditions))
+
+    # -- constructs --------------------------------------------------------------
+
+    def construct(self) -> Construct:
+        node = self.catom()
+        while self.at_word("union"):
+            self.eat_word("union")
+            node = ConstructUnion(node, self.catom())
+        return node
+
+    def catom(self) -> Construct:
+        ch = self.peek()
+        if ch == "(":
+            self.eat("(")
+            node = self.construct()
+            self.eat(")")
+            return node
+        if ch == "{":
+            return self.construct_tree()
+        if ch == "\\":
+            self.eat("\\")
+            return ConstructVar(self.ident())
+        return ConstructLiteral(self.literal())
+
+    def construct_tree(self) -> ConstructTree:
+        self.eat("{")
+        members: list[tuple[ConstructLabel, Construct]] = []
+        if self.peek() == "}":
+            self.eat("}")
+            return ConstructTree(())
+        while True:
+            members.append((self.construct_label(), self._construct_value()))
+            if self.peek() == ",":
+                self.eat(",")
+                continue
+            self.eat("}")
+            return ConstructTree(tuple(members))
+
+    def _construct_value(self) -> Construct:
+        self.eat(":")
+        return self.construct()
+
+    def construct_label(self) -> ConstructLabel:
+        ch = self.peek()
+        if ch == "\\":
+            self.eat("\\")
+            return ConstructLabel(var=self.ident())
+        if ch == "`":
+            self.pos += 1
+            out = []
+            while self.pos < len(self.text) and self.text[self.pos] != "`":
+                out.append(self.text[self.pos])
+                self.pos += 1
+            if self.pos >= len(self.text):
+                raise self.err("unterminated `symbol`")
+            self.pos += 1
+            return ConstructLabel(label=sym("".join(out)))
+        if ch in "\"'":
+            return ConstructLabel(label=string(self.quoted()))
+        if ch.isdigit() or ch == "-":
+            return ConstructLabel(label=self.number())
+        return ConstructLabel(label=sym(self.ident()))
+
+    # -- patterns ---------------------------------------------------------------------
+
+    def binding(self) -> Binding:
+        pattern = self.pattern()
+        self.eat_word("in")
+        if self.peek() == "\\":
+            self.eat("\\")
+            return Binding(pattern, self.ident(), source_is_var=True)
+        return Binding(pattern, self.ident(), source_is_var=False)
+
+    def pattern(self) -> Pattern:
+        self.eat("{")
+        members: list[PatternMember] = []
+        if self.peek() == "}":
+            self.eat("}")
+            return Pattern(())
+        while True:
+            members.append(self.pattern_member())
+            if self.peek() == ",":
+                self.eat(",")
+                continue
+            self.eat("}")
+            return Pattern(tuple(members))
+
+    def pattern_member(self) -> PatternMember:
+        if self.peek() == "\\":
+            self.eat("\\")
+            edge: "RegexEdge | LabelVarEdge" = LabelVarEdge(self.ident())
+        else:
+            edge = self.regex_edge()
+        self.eat(":")
+        return PatternMember(edge, self.target())
+
+    def regex_edge(self) -> RegexEdge:
+        """Scan the raw regex text up to the member's ``:`` and parse it."""
+        self.skip_ws()
+        start = self.pos
+        in_quote: str | None = None
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if in_quote:
+                if ch == "\\":
+                    self.pos += 1  # skip the escaped char too
+                elif ch == in_quote:
+                    in_quote = None
+            elif ch in "\"'`":
+                in_quote = ch
+            elif ch == ":":
+                break
+            self.pos += 1
+        text = self.text[start : self.pos].strip()
+        if not text:
+            raise self.err("empty edge pattern")
+        try:
+            regex = parse_path_regex(text)
+        except Exception as exc:
+            raise UnqlSyntaxError(f"bad path pattern {text!r}: {exc}") from exc
+        return RegexEdge(regex, text)
+
+    def target(self):
+        ch = self.peek()
+        if ch == "\\":
+            self.eat("\\")
+            return TreeVar(self.ident())
+        if ch == "{":
+            return NestedPattern(self.pattern())
+        return LiteralTarget(self.literal())
+
+    # -- conditions ----------------------------------------------------------------------
+
+    def condition(self) -> Condition:
+        self.skip_ws()
+        # type check: isint(\x)
+        for fn in _TYPE_CHECKS:
+            if self.at_word(fn):
+                self.eat_word(fn)
+                self.eat("(")
+                self.eat("\\")
+                var = self.ident()
+                self.eat(")")
+                return TypeCheck(fn, var)
+        left, left_is_var = self.operand()
+        if self.at_word("like"):
+            if not left_is_var:
+                raise self.err("'like' needs a variable on the left")
+            self.eat_word("like")
+            ch = self.peek()
+            if ch not in "\"'":
+                raise self.err("'like' needs a quoted pattern")
+            return LikeCondition(left, self.quoted())
+        self.skip_ws()
+        for op in _OPS:
+            if self.text[self.pos : self.pos + len(op)] == op:
+                self.pos += len(op)
+                right, right_is_var = self.operand()
+                return Comparison(left, op, right, left_is_var, right_is_var)
+        raise self.err("expected a comparison operator or 'like'")
+
+    def operand(self) -> tuple["str | Label", bool]:
+        if self.peek() == "\\":
+            self.eat("\\")
+            return self.ident(), True
+        return self.literal(), False
+
+
+def parse_query(text: str) -> Query:
+    """Parse UnQL query text into a :class:`~repro.unql.ast.Query`."""
+    return _P(text).query()

@@ -1,0 +1,302 @@
+"""Relational algebra interpreted over tree-encoded relations.
+
+Section 3's theorem about UnQL's algebra: "when restricted to input and
+output data that conform to a relational (nested relational) schema, it
+expresses exactly the relational (nested relational) algebra.  Hence an
+SQL-like language is a natural fragment of UnQL."
+
+This module makes the inclusion *executable*: every SPJRU operator is
+implemented over the graph encoding of relations
+(:func:`repro.relational.encode.relational_to_graph` shapes: a relation is
+a node with ``tuple`` edges to flat records).  Select and project are
+single structural recursions; union is the model's native ``U``; join and
+difference are horizontal nested-loop combinations of tuple subtrees --
+all of it tree transformations, none of it touching the relational
+engine.  :func:`evaluate_on_trees` runs a whole
+:class:`~repro.relational.algebra.RelExpr` this way, and experiment E4
+checks it against :func:`repro.relational.algebra.evaluate` on random
+terms and measures the cost of working on trees.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.graph import Graph
+from ..core.labels import Label, label_of, sym
+from ..relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    RelExpr,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from ..relational.relation import Relation, RelationError
+from .restructure import drop_edges
+from .sstruct import SubtreeView
+
+__all__ = [
+    "relation_to_tree",
+    "tree_to_relation",
+    "evaluate_on_trees",
+    "tree_nest",
+    "tree_unnest",
+]
+
+_TUPLE = sym("tuple")
+
+
+def relation_to_tree(rel: Relation) -> Graph:
+    """Encode one relation as ``{tuple: {attr: {v: {}}, ...}, ...}``."""
+    g = Graph()
+    root = g.new_node()
+    g.set_root(root)
+    for row in sorted(rel.rows, key=repr):
+        tuple_node = g.new_node()
+        g.add_edge(root, _TUPLE, tuple_node)
+        for attr, value in zip(rel.schema, row):
+            holder = g.new_node()
+            leaf = g.new_node()
+            g.add_edge(tuple_node, sym(attr), holder)
+            g.add_edge(holder, label_of(value), leaf)
+    return g
+
+
+def _record_of(graph: Graph, tuple_node: int) -> dict[str, object]:
+    record: dict[str, object] = {}
+    for edge in graph.edges_from(tuple_node):
+        if not edge.label.is_symbol:
+            raise RelationError("tuple fields must be symbol edges")
+        inner = graph.edges_from(edge.dst)
+        if len(inner) != 1 or not inner[0].label.is_base:
+            raise RelationError("tuple fields must hold single scalars")
+        record[str(edge.label.value)] = inner[0].label.value
+    return record
+
+
+def tree_to_relation(graph: Graph) -> Relation:
+    """Decode the tree encoding back to a relation (schema = sorted attrs)."""
+    records = [
+        _record_of(graph, e.dst)
+        for e in graph.edges_from(graph.root)
+        if e.label == _TUPLE
+    ]
+    attrs: set[str] = set()
+    for r in records:
+        attrs.update(r)
+    schema = tuple(sorted(attrs))
+    for r in records:
+        if set(r) != attrs:
+            raise RelationError("ragged tuples: not relational data")
+    return Relation(schema, (tuple(r[a] for a in schema) for r in records))
+
+
+# -- the operators, as tree transformations ----------------------------------
+
+
+def _tuple_views(graph: Graph) -> list[SubtreeView]:
+    return [
+        SubtreeView(graph, e.dst)
+        for e in graph.edges_from(graph.root)
+        if e.label == _TUPLE
+    ]
+
+
+def _field_value(view: SubtreeView, attr: str) -> "Label | None":
+    child = view.child(sym(attr))
+    if child is None:
+        return None
+    edges = child.edges()
+    if len(edges) == 1 and edges[0].label.is_base:
+        return edges[0].label
+    return None
+
+
+def tree_select(graph: Graph, attr: str, value: object) -> Graph:
+    """sigma as one structural recursion: drop non-matching tuple edges."""
+    target = label_of(value)
+
+    def not_matching(label: Label, view: SubtreeView) -> bool:
+        if label != _TUPLE:
+            return False
+        field = _field_value(view, attr)
+        return field != target
+
+    return drop_edges(graph, not_matching)
+
+
+def tree_project(graph: Graph, attrs: tuple[str, ...]) -> Graph:
+    """pi as one structural recursion: drop unprojected attribute edges.
+
+    Duplicate elimination is free: the result is a *set* of tuples in the
+    model, and equality of tuple subtrees is bisimulation.
+    """
+    keep = {sym(a) for a in attrs}
+
+    def unwanted(label: Label, view: SubtreeView) -> bool:
+        return label.is_symbol and label != _TUPLE and label not in keep
+
+    # only attribute edges directly under tuples are affected; scalar
+    # edges are base-labeled and symbols below values do not occur in the
+    # encoding, so the global predicate is safe.
+    return drop_edges(graph, unwanted)
+
+
+def tree_rename(graph: Graph, old: str, new: str) -> Graph:
+    source, target = sym(old), sym(new)
+    return graph.map_labels(lambda lab: target if lab == source else lab)
+
+
+def tree_union(left: Graph, right: Graph) -> Graph:
+    """U is the model's native union of edge sets."""
+    return left.union(right)
+
+
+def tree_difference(left: Graph, right: Graph) -> Graph:
+    """Difference by horizontal comparison of tuple records."""
+    right_records = [
+        tuple(sorted(_record_of(right, v.node).items())) for v in _tuple_views(right)
+    ]
+    right_set = set(right_records)
+    out = Graph()
+    root = out.new_node()
+    out.set_root(root)
+    for view in _tuple_views(left):
+        record = tuple(sorted(_record_of(left, view.node).items()))
+        if record not in right_set:
+            sub = view.to_graph()
+            mapping = out._absorb(sub)
+            out.add_edge(root, _TUPLE, mapping[sub.root])
+    return out
+
+
+def tree_join(left: Graph, right: Graph) -> Graph:
+    """Natural join by nested-loop combination of tuple subtrees."""
+    out = Graph()
+    root = out.new_node()
+    out.set_root(root)
+    left_views = _tuple_views(left)
+    right_views = _tuple_views(right)
+    for lv in left_views:
+        lrec = _record_of(left, lv.node)
+        for rv in right_views:
+            rrec = _record_of(right, rv.node)
+            shared = set(lrec) & set(rrec)
+            if any(lrec[a] != rrec[a] for a in shared):
+                continue
+            tuple_node = out.new_node()
+            out.add_edge(root, _TUPLE, tuple_node)
+            merged = dict(lrec)
+            merged.update(rrec)
+            for attr, value in merged.items():
+                holder = out.new_node()
+                leaf = out.new_node()
+                out.add_edge(tuple_node, sym(attr), holder)
+                out.add_edge(holder, label_of(value), leaf)
+    return out
+
+
+def evaluate_on_trees(expr: RelExpr, catalog: Mapping[str, Relation]) -> Graph:
+    """Evaluate an algebra expression entirely on tree-encoded data."""
+    if isinstance(expr, Scan):
+        return relation_to_tree(catalog[expr.name])
+    if isinstance(expr, Select):
+        return tree_select(evaluate_on_trees(expr.inner, catalog), expr.attr, expr.value)
+    if isinstance(expr, Project):
+        return tree_project(evaluate_on_trees(expr.inner, catalog), expr.attrs)
+    if isinstance(expr, Rename):
+        return tree_rename(evaluate_on_trees(expr.inner, catalog), expr.old, expr.new)
+    if isinstance(expr, Join):
+        return tree_join(
+            evaluate_on_trees(expr.left, catalog), evaluate_on_trees(expr.right, catalog)
+        )
+    if isinstance(expr, Union):
+        return tree_union(
+            evaluate_on_trees(expr.left, catalog), evaluate_on_trees(expr.right, catalog)
+        )
+    if isinstance(expr, Difference):
+        return tree_difference(
+            evaluate_on_trees(expr.left, catalog), evaluate_on_trees(expr.right, catalog)
+        )
+    raise TypeError(f"unknown algebra node {type(expr).__name__}")
+
+
+# -- the nested-relational extension (nest/unnest on trees) -------------------
+
+
+def tree_nest(graph: Graph, by: tuple[str, ...], into: str) -> Graph:
+    """Nest on trees: group tuple subtrees by their key record.
+
+    In the model this is the *natural* operation -- nesting is just
+    re-parenting: one output tuple per distinct key, whose ``into`` edge
+    holds the folded members as an inner set of ``tuple`` edges.  Agrees
+    with :func:`repro.relational.nested.nest` through the encoding
+    (tested).
+    """
+    by_set = set(by)
+    groups: dict[tuple, list[dict[str, object]]] = {}
+    for view in _tuple_views(graph):
+        record = _record_of(graph, view.node)
+        key = tuple(sorted((a, v) for a, v in record.items() if a in by_set))
+        rest = {a: v for a, v in record.items() if a not in by_set}
+        groups.setdefault(key, []).append(rest)
+    out = Graph()
+    root = out.new_node()
+    out.set_root(root)
+    for key, members in sorted(groups.items(), key=repr):
+        tuple_node = out.new_node()
+        out.add_edge(root, _TUPLE, tuple_node)
+        for attr, value in key:
+            holder, leaf = out.new_node(), out.new_node()
+            out.add_edge(tuple_node, sym(attr), holder)
+            out.add_edge(holder, label_of(value), leaf)
+        inner_root = out.new_node()
+        out.add_edge(tuple_node, sym(into), inner_root)
+        seen: set[tuple] = set()
+        for rest in members:
+            signature = tuple(sorted(rest.items()))
+            if signature in seen:
+                continue  # set semantics inside the nest
+            seen.add(signature)
+            inner_tuple = out.new_node()
+            out.add_edge(inner_root, _TUPLE, inner_tuple)
+            for attr, value in rest.items():
+                holder, leaf = out.new_node(), out.new_node()
+                out.add_edge(inner_tuple, sym(attr), holder)
+                out.add_edge(holder, label_of(value), leaf)
+    return out
+
+
+def tree_unnest(graph: Graph, attr: str) -> Graph:
+    """Unnest on trees: splice each inner tuple back beside its keys."""
+    out = Graph()
+    root = out.new_node()
+    out.set_root(root)
+    attr_label = sym(attr)
+    for view in _tuple_views(graph):
+        keys: dict[str, object] = {}
+        inner_nodes: list[int] = []
+        for edge in view.edges():
+            if edge.label == attr_label:
+                inner_nodes.extend(
+                    e.dst
+                    for e in graph.edges_from(edge.dst)
+                    if e.label == _TUPLE
+                )
+            else:
+                fields = graph.edges_from(edge.dst)
+                if len(fields) == 1 and fields[0].label.is_base:
+                    keys[str(edge.label.value)] = fields[0].label.value
+        for inner in inner_nodes:
+            record = dict(keys)
+            record.update(_record_of(graph, inner))
+            tuple_node = out.new_node()
+            out.add_edge(root, _TUPLE, tuple_node)
+            for name, value in record.items():
+                holder, leaf = out.new_node(), out.new_node()
+                out.add_edge(tuple_node, sym(name), holder)
+                out.add_edge(holder, label_of(value), leaf)
+    return out

@@ -1,0 +1,123 @@
+"""Views for semistructured data (section 3, citing [4]).
+
+"Some simple forms of restructuring are also present in a view definition
+language proposed in [4]" (Abiteboul-Goldman-McHugh-Vassalos-Zhuge).  A
+:class:`View` names a UnQL query over named sources; it can be
+
+* **materialized** -- evaluated once into a concrete graph, then kept
+  consistent with :meth:`View.refresh` (re-evaluation; staleness is
+  detectable with :meth:`View.is_stale`, equality being bisimulation);
+* **queried through** -- a query posed against the view name runs against
+  the materialized graph, so view users never see the base data.
+
+A :class:`ViewCatalog` holds several views and lets later views read
+earlier ones, giving the stacked view definitions of [4].
+"""
+
+from __future__ import annotations
+
+from ..core.bisim import bisimilar
+from ..core.graph import Graph
+from .ast import Query
+from .evaluator import evaluate_query
+from .parser import parse_query
+
+__all__ = ["View", "ViewCatalog", "ViewError"]
+
+
+class ViewError(ValueError):
+    """Raised on undefined views or source cycles."""
+
+
+class View:
+    """A named UnQL query over named source graphs."""
+
+    def __init__(self, name: str, query: "str | Query") -> None:
+        self.name = name
+        self.query: Query = parse_query(query) if isinstance(query, str) else query
+        self._materialized: Graph | None = None
+
+    def materialize(self, sources: dict[str, Graph]) -> Graph:
+        """Evaluate and cache the view's contents."""
+        self._materialized = evaluate_query(self.query, sources)
+        return self._materialized
+
+    @property
+    def graph(self) -> Graph:
+        if self._materialized is None:
+            raise ViewError(f"view {self.name!r} has not been materialized")
+        return self._materialized
+
+    def is_stale(self, sources: dict[str, Graph]) -> bool:
+        """Would re-evaluation change the view?  (Equality = bisimulation.)"""
+        if self._materialized is None:
+            return True
+        fresh = evaluate_query(self.query, sources)
+        return not bisimilar(fresh, self._materialized)
+
+    def refresh(self, sources: dict[str, Graph]) -> bool:
+        """Re-materialize; returns True iff the contents changed."""
+        old = self._materialized
+        fresh = evaluate_query(self.query, sources)
+        changed = old is None or not bisimilar(fresh, old)
+        self._materialized = fresh
+        return changed
+
+
+class ViewCatalog:
+    """An ordered collection of views over shared base sources.
+
+    Views are materialized in definition order, and each view's result is
+    visible (under its name) to every later view -- stacked restructuring.
+    """
+
+    def __init__(self, **base_sources: Graph) -> None:
+        self._bases = dict(base_sources)
+        self._views: dict[str, View] = {}
+        self._order: list[str] = []
+
+    def define(self, name: str, query: "str | Query") -> View:
+        if name in self._bases or name in self._views:
+            raise ViewError(f"name {name!r} is already bound")
+        view = View(name, query)
+        self._views[name] = view
+        self._order.append(name)
+        return view
+
+    def sources_for(self, name: str) -> dict[str, Graph]:
+        """Base graphs plus every *earlier* materialized view."""
+        out = dict(self._bases)
+        for earlier in self._order:
+            if earlier == name:
+                break
+            out[earlier] = self._views[earlier].graph
+        return out
+
+    def materialize_all(self) -> None:
+        for name in self._order:
+            self._views[name].materialize(self.sources_for(name))
+
+    def update_base(self, name: str, graph: Graph) -> list[str]:
+        """Replace a base source and refresh views; returns changed views."""
+        if name not in self._bases:
+            raise ViewError(f"no base source named {name!r}")
+        self._bases[name] = graph
+        changed = []
+        for vname in self._order:
+            if self._views[vname].refresh(self.sources_for(vname)):
+                changed.append(vname)
+        return changed
+
+    def query(self, text: "str | Query") -> Graph:
+        """Run a query that may read bases and all materialized views."""
+        sources = dict(self._bases)
+        for name in self._order:
+            sources[name] = self._views[name].graph
+        parsed = parse_query(text) if isinstance(text, str) else text
+        return evaluate_query(parsed, sources)
+
+    def __getitem__(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view named {name!r}") from None

@@ -1,0 +1,153 @@
+"""Tests for Thompson NFAs and the lazy DFA, including equivalence props."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import LazyDfa
+from repro.automata.nfa import build_nfa
+from repro.automata.regex import (
+    AltRE,
+    AtomRE,
+    ConcatRE,
+    EpsilonRE,
+    StarRE,
+    exact,
+    parse_path_regex,
+)
+from repro.core.labels import string, sym
+
+
+def labels(*names: str):
+    return [sym(n) for n in names]
+
+
+def accepts(pattern: str, *names: str) -> bool:
+    return build_nfa(parse_path_regex(pattern)).matches(labels(*names))
+
+
+class TestNfaMatching:
+    def test_single_atom(self):
+        assert accepts("a", "a")
+        assert not accepts("a", "b")
+        assert not accepts("a")
+        assert not accepts("a", "a", "a")
+
+    def test_concat(self):
+        assert accepts("a.b", "a", "b")
+        assert not accepts("a.b", "b", "a")
+
+    def test_alternation(self):
+        assert accepts("a|b", "a")
+        assert accepts("a|b", "b")
+        assert not accepts("a|b", "c")
+
+    def test_star(self):
+        assert accepts("a*")
+        assert accepts("a*", "a", "a", "a")
+        assert not accepts("a*", "b")
+
+    def test_plus(self):
+        assert not accepts("a+")
+        assert accepts("a+", "a")
+        assert accepts("a+", "a", "a")
+
+    def test_opt(self):
+        assert accepts("a?")
+        assert accepts("a?", "a")
+        assert not accepts("a?", "a", "a")
+
+    def test_hash_matches_anything(self):
+        assert accepts("#")
+        assert accepts("#", "x", "y", "z")
+
+    def test_negation_constrains_path(self):
+        # The paper's example: below Movie, reach Allen without another Movie.
+        pattern = 'Movie.(!Movie)*."Allen"'
+        nfa = build_nfa(parse_path_regex(pattern))
+        ok = [sym("Movie"), sym("Cast"), string("Allen")]
+        bad = [sym("Movie"), sym("Movie"), string("Allen")]
+        assert nfa.matches(ok)
+        assert not nfa.matches(bad)
+
+    def test_epsilon_regex(self):
+        assert accepts("()")
+        assert not accepts("()", "a")
+
+    def test_string_vs_symbol(self):
+        nfa = build_nfa(parse_path_regex('"Allen"'))
+        assert nfa.matches([string("Allen")])
+        assert not nfa.matches([sym("Allen")])
+
+    def test_complex_nesting(self):
+        assert accepts("(a.b)*.c", "c")
+        assert accepts("(a.b)*.c", "a", "b", "c")
+        assert accepts("(a.b)*.c", "a", "b", "a", "b", "c")
+        assert not accepts("(a.b)*.c", "a", "c")
+
+
+class TestLazyDfa:
+    def test_dfa_agrees_on_basics(self):
+        dfa = LazyDfa(build_nfa(parse_path_regex("a.b|c*")))
+        assert dfa.matches(labels("a", "b"))
+        assert dfa.matches(labels())
+        assert dfa.matches(labels("c", "c"))
+        assert not dfa.matches(labels("a"))
+
+    def test_dead_state_detected(self):
+        dfa = LazyDfa(build_nfa(parse_path_regex("a")))
+        state = dfa.step(dfa.start, sym("z"))
+        assert dfa.is_dead(state)
+
+    def test_states_materialize_lazily(self):
+        dfa = LazyDfa(build_nfa(parse_path_regex("a.b.c.d")))
+        before = dfa.num_materialized_states
+        dfa.matches(labels("a", "b", "c", "d"))
+        assert dfa.num_materialized_states > before
+
+    def test_truth_vector_memoized_across_runs(self):
+        dfa = LazyDfa(build_nfa(parse_path_regex("a*.b")))
+        assert dfa.matches(labels("a", "a", "b"))
+        n = dfa.num_materialized_states
+        assert dfa.matches(labels("a", "b"))
+        assert dfa.num_materialized_states == n  # nothing new needed
+
+
+# ---------------------------------------------------------------------------
+# Property: NFA and DFA accept the same language (sampled).
+
+
+@st.composite
+def regexes(draw, depth: int = 3):
+    if depth == 0:
+        return AtomRE(exact(draw(st.sampled_from("ab"))))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return AtomRE(exact(draw(st.sampled_from("ab"))))
+    if kind == 1:
+        return EpsilonRE()
+    if kind == 2:
+        return ConcatRE(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    if kind == 3:
+        return AltRE(draw(regexes(depth=depth - 1)), draw(regexes(depth=depth - 1)))
+    return StarRE(draw(regexes(depth=depth - 1)))
+
+
+@given(regexes(), st.lists(st.sampled_from("ab"), max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_prop_nfa_dfa_equivalent(regex, word):
+    nfa = build_nfa(regex)
+    dfa = LazyDfa(nfa)
+    seq = labels(*word)
+    assert nfa.matches(seq) == dfa.matches(seq)
+
+
+@given(regexes(), st.lists(st.sampled_from("ab"), max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_prop_star_of_regex_accepts_repetitions(regex, word):
+    starred = build_nfa(StarRE(regex))
+    base = build_nfa(regex)
+    seq = labels(*word)
+    if base.matches(seq):
+        assert starred.matches(seq)
+        assert starred.matches(seq + seq)
+    assert starred.matches([])

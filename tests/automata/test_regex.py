@@ -1,0 +1,167 @@
+"""Tests for path-regex parsing and label predicates."""
+
+import pytest
+
+from repro.automata.regex import (
+    AltRE,
+    AtomRE,
+    ConcatRE,
+    EpsilonRE,
+    OptRE,
+    PlusRE,
+    RegexSyntaxError,
+    StarRE,
+    any_label,
+    exact,
+    glob_string,
+    glob_symbol,
+    negated,
+    parse_path_regex,
+    type_test,
+)
+from repro.core.labels import LabelKind, boolean, integer, real, string, sym
+
+
+class TestPredicates:
+    def test_exact_symbol(self):
+        p = exact("Movie")
+        assert p.matches(sym("Movie"))
+        assert not p.matches(string("Movie"))
+        assert not p.matches(sym("TV"))
+
+    def test_exact_data(self):
+        assert exact(string("Casablanca")).matches(string("Casablanca"))
+        assert exact(1942).matches(integer(1942))
+
+    def test_glob_symbol(self):
+        p = glob_symbol("act%")
+        assert p.matches(sym("actors"))
+        assert p.matches(sym("act"))
+        assert not p.matches(sym("Actors"))  # case-sensitive
+        assert not p.matches(string("actors"))
+
+    def test_glob_string(self):
+        p = glob_string("%Casa%")
+        assert p.matches(string("Casablanca"))
+        assert not p.matches(sym("Casablanca"))
+
+    def test_any(self):
+        p = any_label()
+        for lab in (sym("x"), string("y"), integer(1), real(0.5), boolean(True)):
+            assert p.matches(lab)
+
+    def test_type_test(self):
+        p = type_test(LabelKind.INT)
+        assert p.matches(integer(7))
+        assert not p.matches(real(7.0))
+        assert not p.matches(sym("seven"))
+
+    def test_negated(self):
+        p = negated(exact("Movie"))
+        assert not p.matches(sym("Movie"))
+        assert p.matches(sym("TV"))
+        assert p.matches(string("Movie"))
+
+    def test_predicates_hashable(self):
+        assert len({exact("a"), exact("a"), any_label()}) == 2
+
+    def test_exact_label_accessor(self):
+        assert exact("Movie").exact_label == sym("Movie")
+        with pytest.raises(ValueError):
+            any_label().exact_label
+
+
+class TestParser:
+    def test_single_name(self):
+        node = parse_path_regex("Movie")
+        assert isinstance(node, AtomRE)
+        assert node.predicate == exact("Movie")
+
+    def test_dotted_path(self):
+        node = parse_path_regex("Entry.Movie.Title")
+        assert isinstance(node, ConcatRE)
+
+    def test_alternation(self):
+        node = parse_path_regex("Movie|TV")
+        assert isinstance(node, AltRE)
+
+    def test_star_plus_opt(self):
+        assert isinstance(parse_path_regex("Movie*"), StarRE)
+        assert isinstance(parse_path_regex("Movie+"), PlusRE)
+        assert isinstance(parse_path_regex("Movie?"), OptRE)
+
+    def test_hash_is_any_star(self):
+        node = parse_path_regex("#")
+        assert isinstance(node, StarRE)
+        assert isinstance(node.inner, AtomRE)
+        assert node.inner.predicate == any_label()
+
+    def test_underscore_is_any(self):
+        node = parse_path_regex("_")
+        assert node.predicate == any_label()
+
+    def test_negation(self):
+        node = parse_path_regex("!Movie")
+        assert node.predicate == negated(exact("Movie"))
+
+    def test_quoted_string(self):
+        node = parse_path_regex('"Casablanca"')
+        assert node.predicate == exact(string("Casablanca"))
+
+    def test_quoted_glob(self):
+        node = parse_path_regex('"%Casa%"')
+        assert node.predicate == glob_string("%Casa%")
+
+    def test_symbol_glob(self):
+        node = parse_path_regex("act%")
+        assert node.predicate == glob_symbol("act%")
+
+    def test_numbers(self):
+        assert parse_path_regex("42").predicate == exact(42)
+        assert parse_path_regex("-3").predicate == exact(-3)
+        assert parse_path_regex("2.5").predicate == exact(2.5)
+
+    def test_type_tests(self):
+        assert parse_path_regex("<int>").predicate == type_test(LabelKind.INT)
+        assert parse_path_regex("<string>").predicate == type_test(LabelKind.STRING)
+
+    def test_parens_and_precedence(self):
+        # a.(b|c)* parses the star over the alternation
+        node = parse_path_regex("a.(b|c)*")
+        assert isinstance(node, ConcatRE)
+        assert isinstance(node.right, StarRE)
+        assert isinstance(node.right.inner, AltRE)
+
+    def test_alternation_binds_looser_than_concat(self):
+        node = parse_path_regex("a.b|c")
+        assert isinstance(node, AltRE)
+        assert isinstance(node.left, ConcatRE)
+
+    def test_empty_parens_is_epsilon(self):
+        assert isinstance(parse_path_regex("()"), EpsilonRE)
+
+    def test_whitespace_tolerated(self):
+        node = parse_path_regex(" Entry . Movie ")
+        assert isinstance(node, ConcatRE)
+
+    def test_escaped_quote_in_string(self):
+        node = parse_path_regex(r'"say \"hi\""')
+        assert node.predicate == exact(string('say "hi"'))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(", "a.", "a|", "!(a.b)", "<nope>", '"unterminated', "a)b", "&"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_path_regex(bad)
+
+    def test_movie_example_from_paper(self):
+        # "Allen below Movie without passing another Movie edge"
+        node = parse_path_regex('Movie.(!Movie)*."Allen"')
+        assert isinstance(node, ConcatRE)
+
+    def test_atoms_enumeration(self):
+        node = parse_path_regex("a.(b|c)*.d")
+        atom_strs = sorted(str(p) for p in node.atoms())
+        assert atom_strs == ["`a`", "`b`", "`c`", "`d`"]

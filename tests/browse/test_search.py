@@ -1,0 +1,120 @@
+"""Tests for the section 1.3 browsing queries, scan vs. indexed."""
+
+import pytest
+
+from repro.browse import (
+    find_attribute_names,
+    find_integers_greater_than,
+    find_value,
+    where_is,
+)
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.index import GraphIndexes
+
+
+@pytest.fixture()
+def db() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {
+                    "Movie": {
+                        "Title": "Casablanca",
+                        "Cast": ["Bogart", "Bacall"],
+                        "Year": 1942,
+                    }
+                },
+                {
+                    "TV Show": {
+                        "Title": "Play it again, Sam",
+                        "actors": "Allen",
+                        "Episodes": 70000,
+                    }
+                },
+            ]
+        }
+    )
+
+
+@pytest.fixture(params=["scan", "indexed"])
+def maybe_indexes(request, db):
+    return GraphIndexes(db).build_all() if request.param == "indexed" else None
+
+
+class TestFindValue:
+    def test_finds_casablanca(self, db, maybe_indexes):
+        (hit,) = find_value(db, "Casablanca", indexes=maybe_indexes)
+        assert hit.edge.label.value == "Casablanca"
+        assert [str(l.value) for l in hit.path] == ["Entry", "Movie", "Title"]
+
+    def test_missing_value(self, db, maybe_indexes):
+        assert find_value(db, "Vertigo", indexes=maybe_indexes) == []
+
+    def test_string_never_matches_symbol(self, db, maybe_indexes):
+        # "Movie" appears as an attribute name, not as data.
+        assert find_value(db, "Movie", indexes=maybe_indexes) == []
+
+    def test_integer_value(self, db, maybe_indexes):
+        (hit,) = find_value(db, 1942, indexes=maybe_indexes)
+        assert hit.edge.label.value == 1942
+
+    def test_scan_and_index_agree(self, db):
+        idx = GraphIndexes(db).build_all()
+        scan = {str(f) for f in find_value(db, "Allen")}
+        indexed = {str(f) for f in find_value(db, "Allen", indexes=idx)}
+        assert scan == indexed
+
+    def test_where_is_renders_paths(self, db):
+        (path_str,) = where_is(db, "Casablanca")
+        assert path_str == "`Entry`.`Movie`.`Title`.'Casablanca'"
+
+
+class TestIntegersGreaterThan:
+    def test_finds_above_2_to_16(self, db, maybe_indexes):
+        hits = find_integers_greater_than(db, 2**16, indexes=maybe_indexes)
+        assert [h.edge.label.value for h in hits] == [70000]
+
+    def test_threshold_is_strict(self, db, maybe_indexes):
+        assert find_integers_greater_than(db, 70000, indexes=maybe_indexes) == []
+
+    def test_reals_not_reported(self, maybe_indexes, db):
+        g = from_obj({"Credit": 1.2e6, "Year": 1942})
+        hits = find_integers_greater_than(g, 0)
+        assert [h.edge.label.value for h in hits] == [1942]
+
+    def test_all_integers_with_low_bound(self, db, maybe_indexes):
+        hits = find_integers_greater_than(db, 0, indexes=maybe_indexes)
+        assert sorted(h.edge.label.value for h in hits) == [1942, 70000]
+
+
+class TestAttributeNames:
+    def test_act_prefix(self, db, maybe_indexes):
+        hits = find_attribute_names(db, "act%", indexes=maybe_indexes)
+        assert [str(h.edge.label.value) for h in hits] == ["actors"]
+
+    def test_case_sensitive(self, db, maybe_indexes):
+        assert find_attribute_names(db, "Act%", indexes=maybe_indexes) == []
+
+    def test_wildcard_both_sides(self, db, maybe_indexes):
+        hits = find_attribute_names(db, "%itle%", indexes=maybe_indexes)
+        assert len(hits) == 2
+
+    def test_path_locates_the_object(self, db, maybe_indexes):
+        (hit,) = find_attribute_names(db, "actors", indexes=maybe_indexes)
+        assert [str(l.value) for l in hit.path] == ["Entry", "TV Show"]
+
+
+class TestOnCyclicData:
+    def test_search_terminates_and_finds(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        leaf = g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "References", b)
+        g.add_edge(b, "IsReferencedIn", a)
+        from repro.core.labels import string
+
+        g.add_edge(b, string("needle"), leaf)
+        (hit,) = find_value(g, "needle")
+        assert [str(l.value) for l in hit.path] == ["References"]

@@ -1,0 +1,100 @@
+"""Tests for the WebSQL-flavoured dialect."""
+
+import pytest
+
+from repro.browse.websql import WebSqlError, parse_websql, websql
+from repro.core.builder import from_obj
+from repro.datasets import generate_web
+
+
+@pytest.fixture()
+def site():
+    return from_obj(
+        {
+            "url": "http://x/home",
+            "title": "home page",
+            "link": [
+                {
+                    "url": "http://x/db",
+                    "title": "database research",
+                    "link": [{"url": "http://x/deep", "title": "deep page"}],
+                },
+                {"url": "http://x/people", "title": "people"},
+            ],
+        }
+    )
+
+
+class TestParse:
+    def test_full_shape(self):
+        q = parse_websql(
+            'SELECT d.url, d.title FROM Document d SUCH THAT "link*" '
+            'WHERE d.title CONTAINS "database"'
+        )
+        assert q.attributes == ("url", "title")
+        assert q.path == "link*"
+        assert q.contains_word == "database"
+
+    def test_without_where(self):
+        q = parse_websql('select d.url from Document d such that "link.link"')
+        assert q.contains_attr is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select from Document d",
+            'select url from Document d such that "x"',   # missing alias dot
+            'select d.url from Page d such that "x"',
+            'select d.url from Document d such that x',   # unquoted path
+            'select d.url from Document d such that "x" where d.t like "y"',
+            'select d.url, e.url from Document d such that "x"',
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(WebSqlError):
+            parse_websql(bad)
+
+
+class TestEvaluate:
+    def test_path_selection(self, site):
+        rows = websql(
+            'select d.url from Document d such that "link"', site
+        )
+        urls = sorted(u for row in rows for u in row["url"])
+        assert urls == ["http://x/db", "http://x/people"]
+
+    def test_star_reaches_all(self, site):
+        rows = websql('select d.url from Document d such that "link*"', site)
+        assert len(rows) == 4
+
+    def test_contains_filter(self, site):
+        rows = websql(
+            'select d.url from Document d such that "link*" '
+            'where d.title contains "database"',
+            site,
+        )
+        assert [row["url"] for row in rows] == [["http://x/db"]]
+
+    def test_contains_is_word_level(self, site):
+        # "data" is not a word of "database research"
+        rows = websql(
+            'select d.url from Document d such that "link*" '
+            'where d.title contains "data"',
+            site,
+        )
+        assert rows == []
+
+    def test_missing_attribute_is_empty_list(self, site):
+        rows = websql('select d.author from Document d such that "link"', site)
+        assert all(row["author"] == [] for row in rows)
+
+    def test_on_generated_cyclic_web(self):
+        web = generate_web(60, seed=8)
+        rows = websql(
+            'select d.url from Document d such that "link*" '
+            'where d.title contains "database"',
+            web,
+        )
+        # terminates on cycles and respects the filter
+        for row in rows:
+            assert row["url"]

@@ -1,0 +1,157 @@
+"""Tests for ingesting self-describing data and rendering graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import BuildError, from_obj, render, to_obj, tree
+from repro.core.graph import Graph
+from repro.core.labels import integer, string, sym
+
+
+class TestFromObj:
+    def test_scalar_becomes_singleton(self):
+        g = from_obj("Casablanca")
+        (edge,) = g.edges_from(g.root)
+        assert edge.label == string("Casablanca")
+        assert g.out_degree(edge.dst) == 0
+
+    def test_none_is_empty_tree(self):
+        g = from_obj(None)
+        assert g.out_degree(g.root) == 0
+
+    def test_dict_keys_become_symbol_edges(self):
+        g = from_obj({"Title": "Casablanca"})
+        (edge,) = g.edges_from(g.root)
+        assert edge.label == sym("Title")
+
+    def test_list_becomes_integer_labeled_edges(self):
+        g = from_obj([10, 20, 30])
+        labels = sorted(e.label.value for e in g.edges_from(g.root))
+        assert labels == [1, 2, 3]
+
+    def test_list_under_key_becomes_repeated_edges(self):
+        # {"Cast": [...]} is the *set* reading: several Cast edges.
+        g = from_obj({"Cast": ["Bogart", "Bacall"]})
+        casts = [e for e in g.edges_from(g.root) if e.label == sym("Cast")]
+        assert len(casts) == 2
+
+    def test_int_dict_key_is_base_label(self):
+        g = from_obj({1: "first"})
+        (edge,) = g.edges_from(g.root)
+        assert edge.label == integer(1)
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(BuildError):
+            from_obj({"x": object()})
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(BuildError):
+            from_obj({(1, 2): "x"})
+
+    def test_tree_alias(self):
+        assert bisimilar(tree({"a": 1}), from_obj({"a": 1}))
+
+
+class TestToObj:
+    def test_round_trip_scalar(self):
+        assert to_obj(from_obj(42)) == 42
+
+    def test_round_trip_dict(self):
+        obj = {"Movie": {"Title": "Casablanca", "Year": 1942}}
+        assert to_obj(from_obj(obj)) == obj
+
+    def test_round_trip_list(self):
+        assert to_obj(from_obj([1, "two", 3.0])) == [1, "two", 3.0]
+
+    def test_repeated_edges_collapse_to_list(self):
+        g = from_obj({"Cast": ["Bogart", "Bacall"]})
+        assert to_obj(g) == {"Cast": ["Bogart", "Bacall"]}
+
+    def test_empty_is_none(self):
+        assert to_obj(from_obj(None)) is None
+
+    def test_cycle_raises(self):
+        g = Graph()
+        r = g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "loop", r)
+        with pytest.raises(BuildError):
+            to_obj(g)
+
+    def test_dag_sharing_is_duplicated(self):
+        g = Graph()
+        r, shared, leaf = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "x", shared)
+        g.add_edge(r, "y", shared)
+        g.add_edge(shared, "v", leaf)
+        assert to_obj(g) == {"x": {"v": None}, "y": {"v": None}}
+
+
+class TestRender:
+    def test_render_shows_labels(self):
+        text = render(from_obj({"Movie": {"Title": "Casablanca"}}))
+        assert "Movie" in text
+        assert "'Casablanca'" in text
+
+    def test_render_marks_cycles(self):
+        g = Graph()
+        r = g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "References", r)
+        assert "*see" in render(g)
+
+    def test_render_depth_cap(self):
+        g = Graph()
+        prev = g.new_node()
+        g.set_root(prev)
+        for _ in range(40):
+            nxt = g.new_node()
+            g.add_edge(prev, "deep", nxt)
+            prev = nxt
+        text = render(g, max_depth=3)
+        assert "..." in text
+
+
+@st.composite
+def json_objects(draw, depth: int = 3):
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.integers(-5, 5),
+                st.sampled_from(["x", "y"]),
+                st.booleans(),
+                st.none(),
+            )
+        )
+    branch = draw(st.integers(0, 2))
+    if branch == 0:
+        return draw(json_objects(depth=0))
+    keys = draw(st.lists(st.sampled_from("pqrs"), max_size=3, unique=True))
+    return {k: draw(json_objects(depth=depth - 1)) for k in keys}
+
+
+@given(json_objects())
+@settings(max_examples=60, deadline=None)
+def test_prop_round_trip_preserves_value(obj):
+    """from_obj/to_obj round-trips every JSON-shaped tree (dicts of scalars
+    and dicts; lists are covered separately since they normalize)."""
+    g = from_obj(obj)
+    back = to_obj(g)
+    # Empty dicts decode as None: {} carries no observable structure.
+    def normalize(o):
+        if isinstance(o, dict):
+            return {k: normalize(v) for k, v in o.items()} or None
+        return o
+
+    assert back == normalize(obj)
+
+
+@given(json_objects())
+@settings(max_examples=60, deadline=None)
+def test_prop_rebuild_is_bisimilar(obj):
+    g = from_obj(obj)
+    g2 = from_obj(to_obj(g))
+    assert bisimilar(g, g2)

@@ -1,0 +1,51 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.core.builder import from_obj
+from repro.core.graph import Graph, to_dot
+from repro.core.labels import string
+
+
+class TestToDot:
+    def test_structure(self):
+        g = from_obj({"Movie": {"Title": "Casablanca"}})
+        dot = to_dot(g)
+        assert dot.startswith("digraph semistructured {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == g.num_edges
+
+    def test_root_marked(self):
+        g = from_obj({"a": 1})
+        dot = to_dot(g)
+        assert f"n{g.root} [shape=doublecircle];" in dot
+
+    def test_symbols_vs_data_rendering(self):
+        g = Graph()
+        r, a, b = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "Movie", a)          # symbol: bare
+        g.add_edge(r, string("Movie"), b)  # data: quoted
+        dot = to_dot(g)
+        assert 'label="Movie"' in dot
+        assert "label=\"'Movie'\"" in dot
+
+    def test_quotes_escaped(self):
+        g = from_obj({"say": 'he said "hi"'})
+        dot = to_dot(g)
+        assert '\\"hi\\"' in dot
+
+    def test_cycles_render(self):
+        g = Graph()
+        n = g.new_node()
+        g.set_root(n)
+        g.add_edge(n, "loop", n)
+        dot = to_dot(g)
+        assert f"n{n} -> n{n}" in dot
+
+    def test_unreachable_omitted(self):
+        g = from_obj({"a": 1})
+        orphan = g.new_node()
+        dot = to_dot(g)
+        assert f"n{orphan} " not in dot
+
+    def test_custom_name(self):
+        assert to_dot(from_obj(None), name="fig1").startswith("digraph fig1")

@@ -1,0 +1,117 @@
+"""Tests for object fusion across databases (section 2, [32])."""
+
+import pytest
+
+from repro.automata.product import rpq_nodes
+from repro.core.builder import from_obj
+from repro.core.fusion import FusionError, fuse_graphs, fuse_objects
+from repro.core.labels import string, sym
+
+
+def source_a():
+    return from_obj(
+        {"Movie": [
+            {"Title": "Casablanca", "Year": 1942},
+            {"Title": "Vertigo", "Year": 1958},
+        ]}
+    )
+
+
+def source_b():
+    return from_obj(
+        {"Movie": [
+            {"Title": "Casablanca", "Director": "Curtiz"},
+            {"Title": "Gilda", "Director": "Vidor"},
+        ]}
+    )
+
+
+class TestFuseObjects:
+    def test_same_key_objects_merge(self):
+        g = from_obj(
+            {"Movie": [
+                {"Title": "Casablanca", "Year": 1942},
+                {"Title": "Casablanca", "Director": "Curtiz"},
+            ]}
+        )
+        fused = fuse_objects(g, "Movie", (sym("Title"),))
+        movies = rpq_nodes(fused, "Movie")
+        assert len(movies) == 1
+        (movie,) = movies
+        labels = {str(e.label.value) for e in fused.edges_from(movie)}
+        assert labels == {"Title", "Year", "Director"}
+
+    def test_different_keys_stay_apart(self):
+        fused = fuse_objects(source_a(), "Movie", (sym("Title"),))
+        assert len(rpq_nodes(fused, "Movie")) == 2
+
+    def test_keyless_objects_untouched(self):
+        g = from_obj(
+            {"Movie": [{"Title": "Casablanca"}, {"Untitled": True}]}
+        )
+        fused = fuse_objects(g, "Movie", (sym("Title"),))
+        assert len(rpq_nodes(fused, "Movie")) == 2
+
+    def test_ambiguous_key_raises(self):
+        g = from_obj({"Movie": {"Title": ["A", "B"]}})
+        with pytest.raises(FusionError):
+            fuse_objects(g, "Movie", (sym("Title"),))
+
+    def test_duplicate_edges_deduped(self):
+        g = from_obj(
+            {"Movie": [
+                {"Title": "Casablanca", "Year": 1942},
+                {"Title": "Casablanca", "Year": 1942},
+            ]}
+        )
+        fused = fuse_objects(g, "Movie", (sym("Title"),))
+        (movie,) = rpq_nodes(fused, "Movie")
+        year_edges = [e for e in fused.edges_from(movie) if e.label == sym("Year")]
+        # the two Year subtrees are distinct nodes but equal values; the
+        # *edges* to them both survive (value-level dedup is bisimulation's
+        # job); the key edges dedup because they map to the same target.
+        assert 1 <= len(year_edges) <= 2
+
+
+class TestFuseGraphs:
+    def test_cross_source_fusion(self):
+        fused = fuse_graphs(
+            [source_a(), source_b()],
+            "Movie",
+            ["Title"],
+            source_names=["imdb", "library"],
+        )
+        # Casablanca fused across sources: one node with Year AND Director
+        casablanca = [
+            n
+            for n in rpq_nodes(fused, "_.Movie")
+            if any(
+                e.label == sym("Year") for e in fused.edges_from(n)
+            )
+            and any(e.label == sym("Director") for e in fused.edges_from(n))
+        ]
+        assert len(casablanca) == 1
+        # non-shared movies remain separate
+        assert len(rpq_nodes(fused, "_.Movie")) == 3
+
+    def test_fused_object_visible_from_both_regions(self):
+        fused = fuse_graphs([source_a(), source_b()], "Movie", ["Title"])
+        via_a = rpq_nodes(fused, 'src0.Movie.Title."Casablanca"')
+        via_b = rpq_nodes(fused, 'src1.Movie.Title."Casablanca"')
+        assert via_a == via_b  # literally the same node now
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(FusionError):
+            fuse_graphs([source_a()], "Movie", ["Title"], source_names=["a", "b"])
+
+    def test_compound_key(self):
+        a = from_obj({"Person": {"Name": "Smith", "Born": 1900, "Job": "actor"}})
+        b = from_obj({"Person": {"Name": "Smith", "Born": 1950, "Job": "director"}})
+        fused = fuse_graphs([a, b], "Person", ["Name"])
+        # same name: fuses (single-attribute key)
+        assert len(rpq_nodes(fused, "_.Person")) == 1
+        # with the compound key (Name, Born) they stay apart... but our key
+        # is a path to ONE scalar; compound keys are expressed by fusing on
+        # a derived key attribute instead -- document via this sanity check
+        fused2 = fuse_graphs([a, b], "Person", ["Born"])
+        assert len(rpq_nodes(fused2, "_.Person")) == 2

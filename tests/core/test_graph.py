@@ -1,0 +1,225 @@
+"""Tests for the edge-labeled rooted graph (section 2's ``type tree``)."""
+
+import pytest
+
+from repro.core.graph import Graph, GraphError, disjoint_union
+from repro.core.labels import integer, string, sym
+
+
+def chain(*labels):
+    """Helper: a root -> ... path graph with the given symbol labels."""
+    g = Graph()
+    node = g.new_node()
+    g.set_root(node)
+    for lab in labels:
+        nxt = g.new_node()
+        g.add_edge(node, lab, nxt)
+        node = nxt
+    return g
+
+
+def cycle_graph(n: int, label: str = "next") -> Graph:
+    """Helper: a directed n-cycle rooted anywhere on the cycle."""
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for i in range(n):
+        g.add_edge(nodes[i], label, nodes[(i + 1) % n])
+    return g
+
+
+class TestBasics:
+    def test_new_node_ids_are_fresh(self):
+        g = Graph()
+        assert g.new_node() != g.new_node()
+
+    def test_add_edge_str_is_symbol(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        edge = g.add_edge(a, "Movie", b)
+        assert edge.label == sym("Movie")
+
+    def test_add_edge_scalar_is_base_label(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        assert g.add_edge(a, 3, b).label == integer(3)
+        assert g.add_edge(a, string("x"), b).label == string("x")
+
+    def test_add_edge_unknown_node_raises(self):
+        g = Graph()
+        a = g.new_node()
+        with pytest.raises(GraphError):
+            g.add_edge(a, "x", 999)
+        with pytest.raises(GraphError):
+            g.add_edge(999, "x", a)
+
+    def test_root_unset_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            _ = g.root
+
+    def test_set_root_unknown_raises(self):
+        with pytest.raises(GraphError):
+            Graph().set_root(5)
+
+    def test_counts(self):
+        g = chain("a", "b", "c")
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_edges_from_unknown_raises(self):
+        with pytest.raises(GraphError):
+            Graph().edges_from(0)
+
+    def test_successors_filtered_by_label(self):
+        g = Graph()
+        r, a, b = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "x", a)
+        g.add_edge(r, "y", b)
+        assert list(g.successors(r, sym("x"))) == [a]
+        assert set(g.successors(r)) == {a, b}
+
+    def test_all_labels(self):
+        g = chain("a", "b")
+        assert g.all_labels() == {sym("a"), sym("b")}
+
+
+class TestTraversal:
+    def test_reachable_ignores_disconnected(self):
+        g = chain("a")
+        g.new_node()  # orphan
+        assert len(g.reachable()) == 2
+
+    def test_reachable_on_cycle_terminates(self):
+        g = cycle_graph(5)
+        assert len(g.reachable()) == 5
+
+    def test_bfs_edges_yields_every_reachable_edge_once(self):
+        g = cycle_graph(4)
+        edges = list(g.bfs_edges())
+        assert len(edges) == 4
+        assert len(set(edges)) == 4
+
+    def test_is_tree_true_for_chain(self):
+        assert chain("a", "b").is_tree()
+
+    def test_is_tree_false_for_shared_node(self):
+        g = Graph()
+        r, a, b = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "x", a)
+        g.add_edge(r, "y", b)
+        g.add_edge(a, "z", b)  # b now has two parents
+        assert not g.is_tree()
+
+    def test_has_cycle(self):
+        assert cycle_graph(3).has_cycle()
+        assert not chain("a", "b").has_cycle()
+
+    def test_self_loop_is_cycle(self):
+        g = Graph()
+        r = g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "loop", r)
+        assert g.has_cycle()
+
+
+class TestConstructors:
+    def test_empty(self):
+        g = Graph.empty()
+        assert g.num_edges == 0
+        assert g.out_degree(g.root) == 0
+
+    def test_singleton_default_leaf(self):
+        g = Graph.singleton("Title")
+        (edge,) = g.edges_from(g.root)
+        assert edge.label == sym("Title")
+        assert g.out_degree(edge.dst) == 0
+
+    def test_singleton_with_child(self):
+        child = Graph.singleton(string("Casablanca"))
+        g = Graph.singleton("Title", child)
+        (edge,) = g.edges_from(g.root)
+        (inner,) = g.edges_from(edge.dst)
+        assert inner.label == string("Casablanca")
+
+    def test_union_merges_root_edges(self):
+        u = Graph.singleton("a").union(Graph.singleton("b"))
+        labels = {e.label for e in u.edges_from(u.root)}
+        assert labels == {sym("a"), sym("b")}
+
+    def test_union_does_not_mutate_operands(self):
+        g1, g2 = Graph.singleton("a"), Graph.singleton("b")
+        n1, n2 = g1.num_nodes, g2.num_nodes
+        g1.union(g2)
+        assert (g1.num_nodes, g2.num_nodes) == (n1, n2)
+
+    def test_union_preserves_cycles(self):
+        u = cycle_graph(3).union(Graph.singleton("x"))
+        assert u.has_cycle()
+
+
+class TestSurgery:
+    def test_copy_is_isomorphic(self):
+        g = cycle_graph(3)
+        c = g.copy()
+        assert c.num_nodes == 3
+        assert c.num_edges == 3
+        assert c.has_cycle()
+
+    def test_copy_drops_unreachable(self):
+        g = chain("a")
+        g.new_node()
+        assert g.copy().num_nodes == 2
+
+    def test_subgraph_reroots(self):
+        g = chain("a", "b", "c")
+        (edge,) = g.edges_from(g.root)
+        sub = g.subgraph(edge.dst)
+        assert sub.num_edges == 2
+        (first,) = sub.edges_from(sub.root)
+        assert first.label == sym("b")
+
+    def test_subgraph_restores_original_root(self):
+        g = chain("a", "b")
+        (edge,) = g.edges_from(g.root)
+        g.subgraph(edge.dst)
+        assert (next(iter(g.edges_from(g.root)))).label == sym("a")
+
+    def test_map_labels(self):
+        g = chain("a", "b")
+        upper = g.map_labels(
+            lambda lab: sym(lab.value.upper()) if lab.is_symbol else lab
+        )
+        assert {e.label for e in upper.edges()} == {sym("A"), sym("B")}
+
+    def test_unfold_depth_limits_tree(self):
+        g = cycle_graph(1)  # self loop
+        t = g.unfold(4)
+        assert not t.has_cycle()
+        assert t.num_edges == 4
+
+    def test_unfold_of_tree_is_same_shape(self):
+        g = chain("a", "b")
+        t = g.unfold(10)
+        assert t.num_edges == 2
+
+    def test_degree_histogram(self):
+        g = chain("a", "b")
+        hist = dict(g.degree_histogram())
+        assert hist == {1: 2, 0: 1}
+
+
+class TestDisjointUnion:
+    def test_mappings_are_disjoint(self):
+        g1, g2 = chain("a"), chain("b")
+        arena, (m1, m2) = disjoint_union([g1, g2])
+        assert set(m1.values()).isdisjoint(m2.values())
+        assert arena.num_nodes == 4
+
+    def test_arena_preserves_edges(self):
+        g1 = chain("a")
+        arena, (m1,) = disjoint_union([g1])
+        (edge,) = arena.edges_from(m1[g1.root])
+        assert edge.label == sym("a")

@@ -1,0 +1,141 @@
+"""Tests for the tagged-union label type (section 2's ``type label``)."""
+
+import pytest
+
+from repro.core.labels import (
+    Label,
+    LabelKind,
+    boolean,
+    integer,
+    label_of,
+    real,
+    string,
+    sym,
+)
+
+
+class TestConstruction:
+    def test_symbol(self):
+        lab = sym("Movie")
+        assert lab.kind is LabelKind.SYMBOL
+        assert lab.value == "Movie"
+
+    def test_string(self):
+        lab = string("Casablanca")
+        assert lab.kind is LabelKind.STRING
+        assert lab.value == "Casablanca"
+
+    def test_integer(self):
+        assert integer(42).value == 42
+
+    def test_real_coerces_int_to_float(self):
+        lab = real(3)
+        assert isinstance(lab.value, float)
+        assert lab.value == 3.0
+
+    def test_boolean(self):
+        assert boolean(True).value is True
+
+    def test_int_label_rejects_bool_value(self):
+        # bool is a subtype of int in Python; the model keeps them apart.
+        with pytest.raises(TypeError):
+            Label(LabelKind.INT, True)
+
+    def test_string_label_rejects_int(self):
+        with pytest.raises(TypeError):
+            Label(LabelKind.STRING, 7)
+
+    def test_symbol_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Label(LabelKind.SYMBOL, 3)
+
+
+class TestEquality:
+    def test_symbol_differs_from_string_with_same_text(self):
+        # The attribute name Movie and the data value "Movie" are distinct.
+        assert sym("Movie") != string("Movie")
+
+    def test_same_kind_same_value_equal(self):
+        assert sym("Title") == sym("Title")
+        assert integer(1) == integer(1)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {sym("a"): 1, string("a"): 2}
+        assert d[sym("a")] == 1
+        assert d[string("a")] == 2
+
+    def test_int_and_real_labels_differ(self):
+        assert integer(1) != real(1.0)
+
+
+class TestPredicates:
+    def test_symbol_predicates(self):
+        lab = sym("Cast")
+        assert lab.is_symbol
+        assert not lab.is_base
+        assert not lab.is_string
+
+    def test_base_predicates(self):
+        assert string("x").is_base
+        assert string("x").is_string
+        assert integer(0).is_int
+        assert real(1.5).is_real
+        assert boolean(False).is_bool
+
+    def test_switching_on_kind(self):
+        # The "self-describing" idiom: dynamic dispatch on the label kind.
+        def describe(lab: Label) -> str:
+            if lab.is_symbol:
+                return "attribute"
+            if lab.is_int:
+                return "number"
+            return "other"
+
+        assert describe(sym("Title")) == "attribute"
+        assert describe(integer(3)) == "number"
+        assert describe(string("s")) == "other"
+
+
+class TestOrdering:
+    def test_sort_is_deterministic_across_kinds(self):
+        labels = [sym("b"), string("a"), integer(5), boolean(True), real(0.5)]
+        once = sorted(labels)
+        again = sorted(reversed(labels))
+        assert once == again
+
+    def test_within_kind_ordering(self):
+        assert integer(1) < integer(2)
+        assert string("a") < string("b")
+        assert sym("Cast") < sym("Title")
+
+    def test_kinds_are_grouped(self):
+        ordered = sorted([sym("a"), integer(10), string("z")])
+        kinds = [lab.kind for lab in ordered]
+        assert kinds == [LabelKind.INT, LabelKind.STRING, LabelKind.SYMBOL]
+
+
+class TestLabelOf:
+    def test_label_of_int(self):
+        assert label_of(3) == integer(3)
+
+    def test_label_of_bool_before_int(self):
+        assert label_of(True) == boolean(True)
+        assert label_of(True).kind is LabelKind.BOOL
+
+    def test_label_of_float(self):
+        assert label_of(1.2e6) == real(1.2e6)
+
+    def test_label_of_str_is_string_data_not_symbol(self):
+        assert label_of("Casablanca") == string("Casablanca")
+
+    def test_label_of_label_is_identity(self):
+        lab = sym("Movie")
+        assert label_of(lab) is lab
+
+    def test_label_of_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            label_of([1, 2])
+
+    def test_repr_distinguishes_symbols(self):
+        assert repr(sym("Movie")) == "`Movie`"
+        assert repr(string("Movie")) == "'Movie'"

@@ -1,0 +1,143 @@
+"""Tests for the node-labeled variant and the OO database encoding."""
+
+import pytest
+
+from repro.core.bisim import bisimilar
+from repro.core.graph import Graph
+from repro.core.labels import sym
+from repro.core.node_labeled import (
+    NODE_LABEL_MARKER,
+    NodeLabeledGraph,
+    from_edge_labeled,
+    to_edge_labeled,
+)
+from repro.core.oo_encode import OoDatabase, graph_to_oo, oo_to_graph
+
+
+def sample_nl() -> NodeLabeledGraph:
+    nl = NodeLabeledGraph()
+    root = nl.new_node("db")
+    movie = nl.new_node("movie-1")
+    title = nl.new_node()
+    nl.set_root(root)
+    nl.add_edge(root, "Movie", movie)
+    nl.add_edge(movie, "Title", title)
+    return nl
+
+
+class TestNodeLabeled:
+    def test_node_labels(self):
+        nl = sample_nl()
+        assert nl.node_label(nl.root) == sym("db")
+
+    def test_to_edge_labeled_adds_marker_edges(self):
+        g = to_edge_labeled(sample_nl())
+        markers = [e for e in g.edges() if e.label == NODE_LABEL_MARKER]
+        assert len(markers) == 2  # two labeled nodes
+
+    def test_round_trip_preserves_labels_and_shape(self):
+        nl = sample_nl()
+        back = from_edge_labeled(to_edge_labeled(nl))
+        assert back.node_label(back.root) == sym("db")
+        (movie_edge,) = back.edges_from(back.root)
+        assert movie_edge.label == sym("Movie")
+        assert back.node_label(movie_edge.dst) == sym("movie-1")
+        assert back.num_nodes == nl.num_nodes
+
+    def test_union_keeps_shared_root_label(self):
+        a, b = sample_nl(), sample_nl()
+        u = a.union(b)
+        assert u.node_label(u.root) == sym("db")
+
+    def test_union_loses_conflicting_root_label(self):
+        # The defect the paper points out: there is no canonical label for
+        # the union root when the operands disagree.
+        a = NodeLabeledGraph()
+        a.set_root(a.new_node("x"))
+        b = NodeLabeledGraph()
+        b.set_root(b.new_node("y"))
+        assert a.union(b).node_label(a.union(b).root) is None
+
+    def test_union_merges_edges(self):
+        a, b = sample_nl(), sample_nl()
+        u = a.union(b)
+        assert len(u.edges_from(u.root)) == 2
+
+    def test_plain_graph_round_trips_with_unlabeled_nodes(self):
+        g = Graph.singleton("a", Graph.singleton("b"))
+        nl = from_edge_labeled(g)
+        assert nl.node_label(nl.root) is None
+        assert bisimilar(to_edge_labeled(nl), g)
+
+
+def build_oo() -> OoDatabase:
+    db = OoDatabase()
+    person = db.define_class("Person", ("name", "friend"))
+    movie = db.define_class("Movie", ("title", "cast", "year"))
+    bogart = db.new_object(person).set("name", "Bogart")
+    bacall = db.new_object(person).set("name", "Bacall")
+    bogart.set("friend", bacall)
+    bacall.set("friend", bogart)  # a reference cycle
+    m = db.new_object(movie)
+    m.set("title", "Casablanca")
+    m.set("year", 1942)
+    m.set("cast", [bogart, bacall])
+    return db
+
+
+class TestOoEncoding:
+    def test_extents_become_class_edges(self):
+        g = oo_to_graph(build_oo())
+        labels = {e.label for e in g.edges_from(g.root)}
+        assert labels == {sym("Movie"), sym("Person")}
+
+    def test_reference_cycle_preserved(self):
+        assert oo_to_graph(build_oo()).has_cycle()
+
+    def test_identity_becomes_sharing(self):
+        db = OoDatabase()
+        cls = db.define_class("C", ("ref",))
+        shared = db.new_object(cls)
+        a = db.new_object(cls).set("ref", shared)
+        b = db.new_object(cls).set("ref", shared)
+        g = oo_to_graph(db)
+        # the shared object's node has two incoming "ref" edges
+        ref_targets = [e.dst for e in g.edges() if e.label == sym("ref")]
+        assert len(ref_targets) == 2
+        assert len(set(ref_targets)) == 1
+
+    def test_round_trip_objects_and_values(self):
+        back = graph_to_oo(oo_to_graph(build_oo()))
+        (m,) = back.extents["Movie"]
+        assert m.values["title"] == "Casablanca"
+        assert m.values["year"] == 1942
+        names = sorted(p.values["name"] for p in back.extents["Person"])
+        assert names == ["Bacall", "Bogart"]
+
+    def test_round_trip_preserves_identity(self):
+        back = graph_to_oo(oo_to_graph(build_oo()))
+        (m,) = back.extents["Movie"]
+        cast = m.values["cast"]
+        bogart = next(p for p in back.extents["Person"] if p.values["name"] == "Bogart")
+        assert any(member is bogart for member in cast)
+        # and the friendship cycle survives
+        assert bogart.values["friend"].values["friend"] is bogart
+
+    def test_missing_attributes_tolerated(self):
+        db = OoDatabase()
+        cls = db.define_class("Loose", ("a", "b"))
+        db.new_object(cls).set("a", 1)  # b never set: ACeDB-style looseness
+        back = graph_to_oo(oo_to_graph(db))
+        (obj,) = back.extents["Loose"]
+        assert obj.values == {"a": 1}
+
+    def test_set_unknown_attribute_raises(self):
+        db = OoDatabase()
+        cls = db.define_class("C", ("x",))
+        with pytest.raises(ValueError):
+            db.new_object(cls).set("nope", 1)
+
+    def test_double_round_trip_stable(self):
+        g1 = oo_to_graph(build_oo())
+        g2 = oo_to_graph(graph_to_oo(g1))
+        assert bisimilar(g1, g2)

@@ -1,0 +1,190 @@
+"""Tests for the OEM variant and the conversions between model variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj
+from repro.core.convert import graph_to_oem, oem_to_graph
+from repro.core.graph import Graph
+from repro.core.labels import string, sym
+from repro.core.oem import OemDatabase, OemError
+
+
+def movie_oem() -> OemDatabase:
+    db = OemDatabase()
+    root = db.new_complex()
+    movie = db.new_complex()
+    db.add_child(root, "Movie", movie)
+    db.add_child(movie, "Title", db.new_atomic("Casablanca"))
+    db.add_child(movie, "Cast", db.new_atomic("Bogart"))
+    db.add_child(movie, "Cast", db.new_atomic("Bacall"))
+    db.set_name("DB", root)
+    return db
+
+
+class TestOemDatabase:
+    def test_atomic_objects(self):
+        db = OemDatabase()
+        oid = db.new_atomic("hello")
+        assert db.get(oid).is_atomic
+        assert db.get(oid).atom == "hello"
+
+    def test_complex_objects_and_children(self):
+        db = movie_oem()
+        root = db.lookup_name("DB")
+        (movie,) = db.children(root, "Movie")
+        assert sorted(db.get(c).atom for c in db.children(movie, "Cast")) == [
+            "Bacall",
+            "Bogart",
+        ]
+
+    def test_atomic_cannot_have_children(self):
+        db = OemDatabase()
+        a = db.new_atomic(1)
+        with pytest.raises(OemError):
+            db.add_child(a, "x", db.new_complex())
+
+    def test_unknown_oid_raises(self):
+        db = OemDatabase()
+        with pytest.raises(OemError):
+            db.get(99)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(OemError):
+            OemDatabase().lookup_name("nope")
+
+    def test_bad_atomic_value_rejected(self):
+        with pytest.raises(OemError):
+            OemDatabase().new_atomic([1, 2])
+
+    def test_cycles_allowed(self):
+        db = OemDatabase()
+        a, b = db.new_complex(), db.new_complex()
+        db.add_child(a, "ref", b)
+        db.add_child(b, "backref", a)
+        assert db.reachable(a) == {a, b}
+
+    def test_validate_detects_dangling(self):
+        db = OemDatabase()
+        a = db.new_complex()
+        db.get(a).children.append(("bad", 777))
+        with pytest.raises(OemError):
+            db.validate()
+
+    def test_from_obj(self):
+        db = OemDatabase.from_obj({"Title": "Casablanca"}, name="M")
+        oid = db.lookup_name("M")
+        (child,) = db.children(oid, "Title")
+        assert db.get(child).atom == "Casablanca"
+
+    def test_labels(self):
+        db = movie_oem()
+        (movie,) = db.children(db.lookup_name("DB"), "Movie")
+        assert db.get(movie).labels() == {"Title", "Cast"}
+
+
+class TestOemToGraph:
+    def test_atomic_becomes_scalar_singleton(self):
+        db = OemDatabase()
+        db.set_name("DB", db.new_atomic(42))
+        g = oem_to_graph(db)
+        (edge,) = g.edges_from(g.root)
+        assert edge.label.value == 42
+        assert edge.label.is_int
+
+    def test_complex_becomes_symbol_edges(self):
+        g = oem_to_graph(movie_oem())
+        (edge,) = g.edges_from(g.root)
+        assert edge.label == sym("Movie")
+
+    def test_shared_oid_becomes_shared_node(self):
+        db = OemDatabase()
+        root, shared = db.new_complex(), db.new_atomic("v")
+        db.add_child(root, "x", shared)
+        db.add_child(root, "y", shared)
+        db.set_name("DB", root)
+        g = oem_to_graph(db)
+        targets = {e.dst for e in g.edges_from(g.root)}
+        assert len(targets) == 1
+
+    def test_cyclic_oem_converts(self):
+        db = OemDatabase()
+        a, b = db.new_complex(), db.new_complex()
+        db.add_child(a, "References", b)
+        db.add_child(b, "IsReferencedIn", a)
+        db.set_name("DB", a)
+        g = oem_to_graph(db)
+        assert g.has_cycle()
+
+    def test_multiple_names_make_synthetic_root(self):
+        db = OemDatabase()
+        db.set_name("A", db.new_atomic(1))
+        db.set_name("B", db.new_atomic(2))
+        g = oem_to_graph(db)
+        labels = {e.label for e in g.edges_from(g.root)}
+        assert labels == {sym("A"), sym("B")}
+
+    def test_named_entry_selection(self):
+        db = OemDatabase()
+        db.set_name("A", db.new_atomic(1))
+        db.set_name("B", db.new_atomic(2))
+        g = oem_to_graph(db, name="B")
+        (edge,) = g.edges_from(g.root)
+        assert edge.label.value == 2
+
+
+class TestGraphToOem:
+    def test_scalar_round_trip(self):
+        g = from_obj({"Title": "Casablanca"})
+        db = graph_to_oem(g)
+        root = db.lookup_name("DB")
+        (title,) = db.children(root, "Title")
+        assert db.get(title).atom == "Casablanca"
+
+    def test_round_trip_bisimilar(self):
+        g = from_obj({"Movie": {"Title": "Casablanca", "Year": 1942}})
+        again = oem_to_graph(graph_to_oem(g))
+        assert bisimilar(g, again)
+
+    def test_cycle_round_trip(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "References", b)
+        g.add_edge(b, "Back", a)
+        again = oem_to_graph(graph_to_oem(g))
+        assert again.has_cycle()
+        assert bisimilar(g, again)
+
+    def test_non_oem_base_edge_uses_marker(self):
+        # A base-labeled edge among others can't be OEM-atomic; it is
+        # preserved under the @data marker.
+        g = Graph()
+        r, leaf1, leaf2 = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "name", leaf1)
+        g.add_edge(r, string("stray"), leaf2)
+        db = graph_to_oem(g)
+        root = db.lookup_name("DB")
+        (data,) = db.children(root, "@data")
+        assert db.get(data).atom == "stray"
+
+
+@st.composite
+def oem_shaped_objects(draw, depth: int = 3):
+    """Nested data whose graph encoding is exactly OEM-shaped."""
+    if depth == 0:
+        return draw(st.one_of(st.integers(-3, 3), st.sampled_from(["a", "b"])))
+    keys = draw(st.lists(st.sampled_from(["k1", "k2", "k3"]), max_size=3, unique=True))
+    if not keys:
+        return draw(st.one_of(st.integers(-3, 3), st.sampled_from(["a", "b"])))
+    return {k: draw(oem_shaped_objects(depth=depth - 1)) for k in keys}
+
+
+@given(oem_shaped_objects())
+@settings(max_examples=50, deadline=None)
+def test_prop_oem_round_trip(obj):
+    g = from_obj(obj)
+    assert bisimilar(g, oem_to_graph(graph_to_oem(g)))

@@ -1,0 +1,319 @@
+"""Tests for the graph-datalog parser, stratification, and evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.datalog import (
+    DatalogError,
+    DatalogSyntaxError,
+    check_safety,
+    evaluate,
+    graph_edb,
+    parse_program,
+    run_on_graph,
+    stratify,
+)
+
+REACH = """
+reach(X) :- root(X).
+reach(Y) :- reach(X), edge(X, L, Y).
+"""
+
+
+class TestParser:
+    def test_facts_and_rules(self):
+        p = parse_program("p(1). q(X) :- p(X).")
+        assert len(p.rules) == 2
+        assert p.rules[0].is_fact
+
+    def test_strings_and_numbers(self):
+        p = parse_program('likes("alice", 3.5).')
+        assert p.rules[0].head.terms[0].value == "alice"
+        assert p.rules[0].head.terms[1].value == 3.5
+
+    def test_variables_uppercase(self):
+        p = parse_program("q(X, Y) :- e(X, Y).")
+        head = p.rules[0].head
+        from repro.datalog import Var
+
+        assert all(isinstance(t, Var) for t in head.terms)
+
+    def test_lowercase_idents_are_constants(self):
+        p = parse_program("color(red).")
+        assert p.rules[0].head.terms[0].value == "red"
+
+    def test_negation(self):
+        p = parse_program("q(X) :- e(X, Y), not bad(X).")
+        assert p.rules[0].body[1].negated
+
+    def test_comparisons(self):
+        p = parse_program('q(X) :- e(X, L, Y), L != "Movie", X < 10.')
+        from repro.datalog import Comparison
+
+        assert isinstance(p.rules[0].body[1], Comparison)
+        assert isinstance(p.rules[0].body[2], Comparison)
+
+    def test_comments(self):
+        p = parse_program("% header\np(1). % trailing\n")
+        assert len(p.rules) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "p(X)", "p(X) :- .", "P(x).", "p() .", "p(X) :- q(X)"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program(bad)
+
+
+class TestSafetyAndStratification:
+    def test_unbound_head_variable(self):
+        with pytest.raises(DatalogError):
+            check_safety(parse_program("p(X, Y) :- q(X)."))
+
+    def test_unbound_negated_variable(self):
+        with pytest.raises(DatalogError):
+            check_safety(parse_program("p(X) :- q(X), not r(Y)."))
+
+    def test_unbound_comparison_variable(self):
+        with pytest.raises(DatalogError):
+            check_safety(parse_program("p(X) :- q(X), Y > 1."))
+
+    def test_safe_program_passes(self):
+        check_safety(parse_program("p(X) :- q(X), not r(X), X > 1."))
+
+    def test_strata_ordering(self):
+        p = parse_program(
+            """
+            a(X) :- base(X).
+            b(X) :- base(X), not a(X).
+            c(X) :- b(X).
+            """
+        )
+        layers = stratify(p)
+        flat = {pred: i for i, layer in enumerate(layers) for pred in layer}
+        assert flat["a"] < flat["b"] <= flat["c"]
+
+    def test_negation_in_cycle_rejected(self):
+        p = parse_program(
+            """
+            win(X) :- move(X, Y), not win(Y).
+            """
+        )
+        # win depends negatively on itself through recursion
+        with pytest.raises(DatalogError):
+            stratify(p)
+
+    def test_positive_recursion_ok(self):
+        layers = stratify(parse_program(REACH))
+        assert {"reach"} in layers
+
+
+class TestEvaluation:
+    def test_reachability(self):
+        g = from_obj({"a": {"b": {"c": None}}, "d": None})
+        rows = run_on_graph(REACH, g, "reach")
+        assert len(rows) == len(g.reachable())
+
+    def test_reachability_on_cycle(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "n", b)
+        g.add_edge(b, "n", a)
+        rows = run_on_graph(REACH, g, "reach")
+        assert rows == {(a,), (b,)}
+
+    def test_label_constrained_reachability(self):
+        # the paper's flavor: reach without crossing a Movie edge
+        g = from_obj({"Movie": {"x": None}, "Other": {"y": {"z": None}}})
+        rows = run_on_graph(
+            """
+            reach(X) :- root(X).
+            reach(Y) :- reach(X), edge(X, L, Y), L != "Movie".
+            """,
+            g,
+            "reach",
+        )
+        # root, Other node, y node, z leaf -- never below Movie
+        assert len(rows) == 4
+
+    def test_same_generation(self):
+        g = from_obj({"l": {"a": None, "b": None}, "r": {"c": None, "d": None}})
+        rows = run_on_graph(
+            """
+            sg(X, X) :- node(X).
+            sg(X, Y) :- edge(P, L1, X), edge(Q, L2, Y), sg(P, Q).
+            """,
+            g,
+            "sg",
+        )
+        # the four leaves' parents are same-generation, so leaves all pair up
+        leaves = [r for (r,) in run_on_graph("leafq(X) :- leaf(X).", g, "leafq")]
+        for x in leaves:
+            for y in leaves:
+                assert (x, y) in rows
+
+    def test_negation_stratified(self):
+        g = from_obj({"a": {"x": None}, "b": None})
+        rows = run_on_graph(
+            """
+            reach(X) :- root(X).
+            reach(Y) :- reach(X), edge(X, L, Y).
+            internal(X) :- reach(X), not leaf(X).
+            """,
+            g,
+            "internal",
+        )
+        # root and the 'a' node are internal; leaves excluded
+        assert len(rows) == 2
+
+    def test_edgek_kind_queries(self):
+        from repro.core.labels import string
+
+        g = Graph()
+        r, x, y = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "Movie", x)          # symbol
+        g.add_edge(r, string("Movie"), y)  # string data
+        rows = run_on_graph(
+            'strings(L) :- edgek(S, "string", L, D).', g, "strings"
+        )
+        assert rows == {("Movie",)}
+
+    def test_facts_in_program(self):
+        result = evaluate(
+            parse_program("p(1). p(2). q(X) :- p(X), X > 1."), {}
+        )
+        assert result["q"] == {(2,)}
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(DatalogError):
+            evaluate(parse_program("p(X)."), {})
+
+    def test_naive_and_semi_naive_agree(self):
+        g = from_obj({"a": {"b": {"c": {"d": None}}}})
+        fast = run_on_graph(REACH, g, "reach", semi_naive=True)
+        slow = run_on_graph(REACH, g, "reach", semi_naive=False)
+        assert fast == slow
+
+    def test_transitive_closure_program(self):
+        edb = {"e": {(1, 2), (2, 3), (3, 4)}}
+        result = evaluate(
+            parse_program(
+                """
+                tc(X, Y) :- e(X, Y).
+                tc(X, Z) :- tc(X, Y), e(Y, Z).
+                """
+            ),
+            edb,
+        )
+        assert (1, 4) in result["tc"]
+        assert len(result["tc"]) == 6
+
+    def test_constants_in_body_filter(self):
+        edb = {"e": {(1, "a", 2), (1, "b", 3)}}
+        result = evaluate(
+            parse_program('t(Y) :- e(X, "a", Y).'), edb
+        )
+        assert result["t"] == {(2,)}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=15
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_prop_semi_naive_equals_naive_on_tc(edges):
+    edb = {"e": set(edges)}
+    program = parse_program(
+        """
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- tc(X, Y), e(Y, Z).
+        """
+    )
+    fast = evaluate(program, edb, semi_naive=True)["tc"]
+    slow = evaluate(program, edb, semi_naive=False)["tc"]
+    assert fast == slow
+
+
+class TestGraphlogPathAtoms:
+    """Graphlog-style path(X, "regex", Y) builtins ([16])."""
+
+    def test_path_atom_binds_targets(self):
+        g = from_obj({"a": {"b": {"c": None}}})
+        rows = run_on_graph(
+            '''
+            hit(Y) :- root(X), path(X, "a.b", Y).
+            ''',
+            g,
+            "hit",
+        )
+        assert len(rows) == 1
+
+    def test_path_atom_with_star(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "n", b)
+        g.add_edge(b, "n", a)
+        rows = run_on_graph('r(Y) :- root(X), path(X, "n*", Y).', g, "r")
+        assert rows == {(a,), (b,)}
+
+    def test_path_atom_checks_bound_target(self):
+        g = from_obj({"a": {"b": None}})
+        rows = run_on_graph(
+            '''
+            both(X, Y) :- root(X), path(X, "a.b", Y), leaf(Y).
+            ''',
+            g,
+            "both",
+        )
+        assert len(rows) == 1
+
+    def test_path_atom_composes_with_recursion(self):
+        # hop two RPQ steps per recursive application
+        g = from_obj({"a": {"a": {"a": {"a": None}}}})
+        rows = run_on_graph(
+            '''
+            even(X) :- root(X).
+            even(Y) :- even(X), path(X, "a.a", Y).
+            ''',
+            g,
+            "even",
+        )
+        assert len(rows) == 3  # depths 0, 2, 4
+
+    def test_unbound_start_rejected(self):
+        g = from_obj({"a": None})
+        from repro.datalog import DatalogError
+
+        with pytest.raises(DatalogError):
+            run_on_graph('p(Y) :- path(X, "a", Y), node(X).', g, "p")
+
+    def test_needs_graph(self):
+        from repro.datalog import DatalogError
+
+        program = parse_program('p(Y) :- q(X), path(X, "a", Y).')
+        with pytest.raises(DatalogError):
+            evaluate(program, {"q": {(1,)}})
+
+    def test_graphlog_negated_label_query(self):
+        # the paper's flavor, in datalog clothing: reach Allen below Movie
+        # without crossing another Movie edge
+        g = from_obj(
+            {"Movie": {"Cast": "Allen", "Sequel": {"Movie": {"Cast": "Orson"}}}}
+        )
+        rows = run_on_graph(
+            '''
+            hit(Y) :- root(X), path(X, "Movie.(!Movie)*", Y),
+                      edgek(Y, "string", "Allen", Z).
+            ''',
+            g,
+            "hit",
+        )
+        assert len(rows) == 1

@@ -1,0 +1,95 @@
+"""Tests for decomposed structural recursion (the core of [35])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisim import bisimilar
+from repro.core.graph import Graph
+from repro.core.labels import sym
+from repro.datasets import generate_web
+from repro.distributed import partition_graph
+from repro.distributed.srec_decompose import distributed_srec
+from repro.unql import srec
+from repro.unql.sstruct import keep_edge, rec
+
+
+def upper(label, _view):
+    return keep_edge(sym(str(label.value).upper()) if label.is_symbol else label)
+
+
+def collapse_links(label, _view):
+    return rec() if label == sym("link") else keep_edge(label)
+
+
+class TestDistributedSrec:
+    @pytest.mark.parametrize("sites", [1, 2, 4, 8])
+    @pytest.mark.parametrize("strategy", ["bfs", "hash"])
+    def test_bisimilar_to_centralized(self, sites, strategy):
+        web = generate_web(80, seed=401)
+        dist = partition_graph(web, sites, strategy=strategy)
+        decomposed, _ = distributed_srec(dist, upper)
+        centralized = srec(web, upper)
+        assert bisimilar(decomposed, centralized)
+
+    def test_collapse_decomposes_too(self):
+        web = generate_web(50, seed=402)
+        dist = partition_graph(web, 4)
+        decomposed, _ = distributed_srec(dist, collapse_links)
+        assert bisimilar(decomposed, srec(web, collapse_links))
+
+    def test_work_is_partitioned(self):
+        web = generate_web(120, seed=403)
+        dist = partition_graph(web, 6, strategy="hash")
+        _, stats = distributed_srec(dist, upper)
+        # the template phase saw every reachable edge exactly once, split
+        total_edges = sum(
+            len(web.edges_from(n)) for n in web.reachable()
+        )
+        assert stats.total_work == total_edges
+        assert len(stats.per_site_edges) == 6
+        # hash partitioning balances the parallel phase
+        assert stats.speedup > 3.0
+
+    def test_one_site_no_speedup(self):
+        web = generate_web(30, seed=404)
+        dist = partition_graph(web, 1)
+        _, stats = distributed_srec(dist, upper)
+        assert stats.speedup == 1.0
+
+    def test_on_cycles(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "x", b)
+        g.add_edge(b, "y", a)
+        dist = partition_graph(g, 2, strategy="hash")
+        out, _ = distributed_srec(dist, upper)
+        assert out.has_cycle()
+        assert bisimilar(out, srec(g, upper))
+
+
+@st.composite
+def graph_and_partition(draw):
+    n = draw(st.integers(1, 7))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(0, 10))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(["a", "link"])),
+            draw(st.sampled_from(nodes)),
+        )
+    sites = draw(st.integers(1, 4))
+    return g, sites, draw(st.sampled_from(["bfs", "hash"]))
+
+
+@given(graph_and_partition(), st.sampled_from([upper, collapse_links]))
+@settings(max_examples=80, deadline=None)
+def test_prop_decomposed_srec_equals_centralized(gp, body):
+    g, sites, strategy = gp
+    dist = partition_graph(g, sites, strategy=strategy)
+    decomposed, stats = distributed_srec(dist, body)
+    assert bisimilar(decomposed, srec(g, body))
+    assert stats.total_work == sum(len(g.edges_from(n)) for n in g.reachable())

@@ -1,0 +1,208 @@
+"""Tests for the four physical indexes of section 4."""
+
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.core.labels import integer, string, sym
+from repro.index import GraphIndexes, LabelIndex, PathIndex, TextIndex, ValueIndex
+from repro.index.text_index import tokenize
+
+
+def sample() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {
+                    "Movie": {
+                        "Title": "Casablanca",
+                        "Cast": ["Bogart", "Bacall"],
+                        "Year": 1942,
+                    }
+                },
+                {
+                    "Movie": {
+                        "Title": "Play it again, Sam",
+                        "Director": "Allen",
+                        "Credit": 1.2e6,
+                        "actors": "Allen",
+                    }
+                },
+            ]
+        }
+    )
+
+
+class TestLabelIndex:
+    def test_edge_lookup(self):
+        idx = LabelIndex(sample())
+        assert len(idx.edges_with_label(sym("Movie"))) == 2
+        assert len(idx.edges_with_label(sym("Director"))) == 1
+        assert idx.edges_with_label(sym("Nope")) == ()
+
+    def test_sources_and_targets(self):
+        g = sample()
+        idx = LabelIndex(g)
+        assert len(idx.sources_with_label(sym("Title"))) == 2
+        assert len(idx.targets_of_label(sym("Title"))) == 2
+
+    def test_symbols_matching_glob(self):
+        idx = LabelIndex(sample())
+        names = [str(l.value) for l in idx.symbols_matching("act%")]
+        assert names == ["actors"]
+        caps = [str(l.value) for l in idx.symbols_matching("C%")]
+        assert caps == ["Cast", "Credit"]
+
+    def test_counts_and_selectivity(self):
+        idx = LabelIndex(sample())
+        assert idx.count(sym("Entry")) == 2
+        assert 0 < idx.selectivity(sym("Entry")) < 1
+        assert idx.selectivity(sym("None")) == 0.0
+
+    def test_kind_filter(self):
+        idx = LabelIndex(sample())
+        from repro.core.labels import LabelKind
+
+        ints = list(idx.labels(LabelKind.INT))
+        assert ints == [integer(1942)]
+
+    def test_unreachable_edges_not_indexed(self):
+        g = Graph()
+        r = g.new_node()
+        g.set_root(r)
+        orphan_a, orphan_b = g.new_node(), g.new_node()
+        g.add_edge(orphan_a, "ghost", orphan_b)
+        idx = LabelIndex(g)
+        assert idx.edges_with_label(sym("ghost")) == ()
+
+
+class TestValueIndex:
+    def test_exact_string(self):
+        idx = ValueIndex(sample())
+        (edge,) = idx.find_exact(string("Casablanca"))
+        assert edge.label == string("Casablanca")
+
+    def test_numbers_greater_than(self):
+        idx = ValueIndex(sample())
+        big = list(idx.numbers_greater_than(2**10))
+        values = sorted(e.label.value for e in big)
+        assert values == [1942, 1.2e6]
+        assert list(idx.numbers_greater_than(2**21)) == []
+
+    def test_strict_vs_inclusive_bound(self):
+        idx = ValueIndex(sample())
+        assert list(idx.numbers_greater_than(1942, strict=True)) != list(
+            idx.numbers_greater_than(1942, strict=False)
+        )
+
+    def test_numbers_in_range(self):
+        idx = ValueIndex(sample())
+        vals = [e.label.value for e in idx.numbers_in_range(1900, 2000)]
+        assert vals == [1942]
+
+    def test_string_prefix(self):
+        idx = ValueIndex(sample())
+        hits = [e.label.value for e in idx.strings_with_prefix("B")]
+        assert sorted(hits) == ["Bacall", "Bogart"]
+
+    def test_string_range(self):
+        idx = ValueIndex(sample())
+        hits = [e.label.value for e in idx.strings_in_range("A", "B~")]
+        assert sorted(hits) == ["Allen", "Allen", "Bacall", "Bogart"]
+
+    def test_counts(self):
+        idx = ValueIndex(sample())
+        assert idx.num_numbers == 2
+        assert idx.num_strings == 6
+
+    def test_symbols_never_indexed(self):
+        idx = ValueIndex(sample())
+        assert idx.find_exact(string("Movie")) == ()
+
+
+class TestTextIndex:
+    def test_tokenize(self):
+        assert tokenize("Play it again, Sam") == ["play", "it", "again", "sam"]
+
+    def test_containing_word(self):
+        idx = TextIndex(sample())
+        (edge,) = idx.containing_word("SAM")
+        assert "Sam" in str(edge.label.value)
+
+    def test_containing_all(self):
+        idx = TextIndex(sample())
+        hits = idx.containing_all(["play", "again"])
+        assert len(hits) == 1
+        assert idx.containing_all(["play", "casablanca"]) == []
+
+    def test_containing_any(self):
+        idx = TextIndex(sample())
+        hits = idx.containing_any(["casablanca", "sam"])
+        assert len(hits) == 2
+
+    def test_vocabulary_and_df(self):
+        idx = TextIndex(sample())
+        assert "allen" in idx.vocabulary
+        assert idx.document_frequency("allen") == 2
+        assert idx.document_frequency("zzz") == 0
+
+    def test_empty_query(self):
+        assert TextIndex(sample()).containing_all([]) == []
+
+
+class TestPathIndex:
+    def test_fixed_path_lookup(self):
+        g = sample()
+        idx = PathIndex(g, max_depth=4)
+        hits = idx.lookup((sym("Entry"), sym("Movie"), sym("Title")))
+        assert hits is not None and len(hits) == 2
+
+    def test_root_path(self):
+        g = sample()
+        idx = PathIndex(g)
+        assert idx.lookup(()) == frozenset({g.root})
+
+    def test_missing_path_is_empty_not_none(self):
+        idx = PathIndex(sample(), max_depth=3)
+        assert idx.lookup((sym("Nope"),)) == frozenset()
+
+    def test_beyond_depth_returns_none(self):
+        idx = PathIndex(sample(), max_depth=2)
+        assert idx.lookup((sym("a"), sym("b"), sym("c"))) is None
+        assert not idx.covers((sym("a"),) * 3)
+
+    def test_cyclic_graph_bounded(self):
+        g = Graph()
+        a = g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "n", a)
+        idx = PathIndex(g, max_depth=3)
+        assert idx.num_paths == 4  # (), n, nn, nnn
+        assert idx.lookup((sym("n"),) * 3) == frozenset({a})
+
+    def test_vocabulary_ordered_by_length(self):
+        idx = PathIndex(sample(), max_depth=3)
+        vocab = idx.path_vocabulary()
+        lengths = [len(p) for p in vocab]
+        assert lengths == sorted(lengths)
+
+    def test_paths_through_label(self):
+        idx = PathIndex(sample(), max_depth=3)
+        assert all(sym("Movie") in p for p in idx.paths_through_label(sym("Movie")))
+
+    def test_negative_depth_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PathIndex(sample(), max_depth=-1)
+
+
+class TestGraphIndexes:
+    def test_lazy_construction(self):
+        bundle = GraphIndexes(sample())
+        assert bundle._label is None
+        _ = bundle.label
+        assert bundle._label is not None
+        assert bundle._value is None
+
+    def test_build_all(self):
+        bundle = GraphIndexes(sample()).build_all()
+        assert bundle._label and bundle._value and bundle._text and bundle._path

@@ -1,0 +1,253 @@
+"""Tests for the Lorel-style language: parser, coercion, evaluation."""
+
+import pytest
+
+from repro.core.oem import OemDatabase
+from repro.lorel import (
+    LorelRuntimeError,
+    LorelSyntaxError,
+    lorel,
+    lorel_bindings,
+    lorel_rows,
+    parse_lorel,
+    reorder_from_clauses,
+)
+from repro.lorel.coerce import compare_values, like_value
+
+
+@pytest.fixture()
+def db() -> OemDatabase:
+    return OemDatabase.from_obj(
+        {
+            "Entry": [
+                {
+                    "Movie": {
+                        "Title": "Casablanca",
+                        "Year": 1942,
+                        "Cast": ["Bogart", "Bacall"],
+                        "Director": "Curtiz",
+                    }
+                },
+                {
+                    "Movie": {
+                        "Title": "Play it again, Sam",
+                        "Year": "1972",  # note: a *string* year
+                        "Director": "Ross",
+                        "Cast": {"Credit": 1.2e6, "Actors": "Allen"},
+                    }
+                },
+                {"TV Show": {"Title": "Special", "actors": "Allen"}},
+            ]
+        }
+    )
+
+
+class TestParser:
+    def test_basic_shape(self):
+        q = parse_lorel("select m.Title from DB.Entry.Movie m")
+        assert len(q.items) == 1
+        assert len(q.from_clauses) == 1
+        assert q.where is None
+
+    def test_where_boolean_structure(self):
+        q = parse_lorel(
+            'select m.Title from DB.Entry.Movie m '
+            'where m.Year > 1950 and not m.Director = "Ross" or exists m.Cast'
+        )
+        from repro.lorel.ast import BoolOp
+
+        assert isinstance(q.where, BoolOp)
+        assert q.where.op == "or"
+
+    def test_as_label(self):
+        q = parse_lorel("select m.Title as Name from DB.Entry.Movie m")
+        assert q.items[0].label == "Name"
+
+    def test_multiple_from_clauses(self):
+        q = parse_lorel(
+            "select m.Title, d.Map_name from DB.Entry.Movie m, DB.Map d"
+        )
+        assert [c.alias for c in q.from_clauses] == ["m", "d"]
+
+    def test_general_path_expressions(self):
+        q = parse_lorel("select x.Title from DB.#.Movie x")
+        assert q.from_clauses[0].path_text == "#.Movie"
+
+    def test_alias_chaining(self):
+        q = parse_lorel("select c.Actors from DB.Entry.Movie m, m.Cast c")
+        assert q.from_clauses[1].base == "m"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "select",
+            "select m.T from",
+            "select m.T from DB.X",          # missing alias
+            "select from DB.X m",
+            "select m.T from DB.X m where",
+            "select m.T from DB.X select",   # keyword as alias
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(LorelSyntaxError):
+            parse_lorel(bad)
+
+
+class TestCoercion:
+    def test_numeric_widening(self):
+        assert compare_values(1942, "=", 1942.0)
+        assert compare_values(1, "<", 1.5)
+
+    def test_string_number_coercion(self):
+        assert compare_values("1942", "=", 1942)
+        assert compare_values(1972, "=", "1972")
+        assert compare_values("10", ">", 9)
+
+    def test_incomparable_types(self):
+        assert not compare_values("abc", "=", 5)
+        assert compare_values("abc", "!=", 5)
+        assert not compare_values("abc", "<", 5)
+
+    def test_bools_only_compare_to_bools(self):
+        assert compare_values(True, "=", True)
+        assert not compare_values(True, "=", 1)
+
+    def test_like(self):
+        assert like_value("Casablanca", "Casa%")
+        assert like_value("Casablanca", "%blanca")
+        assert not like_value(1942, "%")
+
+
+class TestEvaluation:
+    def test_simple_select(self, db):
+        rows = lorel_rows(lorel("select m.Title from DB.Entry.Movie m", db))
+        titles = sorted(r["Title"][0] for r in rows)
+        assert titles == ["Casablanca", "Play it again, Sam"]
+
+    def test_where_filter(self, db):
+        rows = lorel_rows(
+            lorel(
+                'select m.Title from DB.Entry.Movie m where m.Director = "Curtiz"',
+                db,
+            )
+        )
+        assert [r["Title"] for r in rows] == [["Casablanca"]]
+
+    def test_coercion_in_where(self, db):
+        # Year of movie 2 is the *string* "1972": Lorel coerces it
+        rows = lorel_rows(
+            lorel("select m.Title from DB.Entry.Movie m where m.Year > 1950", db)
+        )
+        assert [r["Title"] for r in rows] == [["Play it again, Sam"]]
+
+    def test_set_valued_comparison_is_existential(self, db):
+        # Cast has two members; = compares existentially
+        rows = lorel_rows(
+            lorel(
+                'select m.Title from DB.Entry.Movie m where m.Cast = "Bacall"', db
+            )
+        )
+        assert [r["Title"] for r in rows] == [["Casablanca"]]
+
+    def test_arbitrary_depth_path(self, db):
+        rows = lorel_rows(
+            lorel('select m.Title from DB.Entry.Movie m where m.Cast.# = "Allen"', db)
+        )
+        assert [r["Title"] for r in rows] == [["Play it again, Sam"]]
+
+    def test_label_wildcards(self, db):
+        rows = lorel_rows(
+            lorel('select s.Title from DB.Entry.`TV Show` s where s.act% = "Allen"', db)
+        )
+        assert [r["Title"] for r in rows] == [["Special"]]
+
+    def test_exists(self, db):
+        rows = lorel_rows(
+            lorel("select m.Title from DB.Entry.Movie m where exists m.Cast.Credit", db)
+        )
+        assert [r["Title"] for r in rows] == [["Play it again, Sam"]]
+
+    def test_like_predicate(self, db):
+        rows = lorel_rows(
+            lorel('select m.Title from DB.Entry.Movie m where m.Title like "Casa%"', db)
+        )
+        assert [r["Title"] for r in rows] == [["Casablanca"]]
+
+    def test_join_across_aliases(self, db):
+        rows = lorel_rows(
+            lorel(
+                "select m.Title, c.Actors from DB.Entry.Movie m, m.Cast c "
+                "where exists c.Actors",
+                db,
+            )
+        )
+        assert len(rows) == 1
+        assert rows[0]["Actors"] == ["Allen"]
+
+    def test_projection_of_complex_object(self, db):
+        rows = lorel_rows(
+            lorel('select m.Cast from DB.Entry.Movie m where m.Title = "Casablanca"', db)
+        )
+        (row,) = rows
+        # two atomic cast members projected
+        assert sorted(v for v in row["Cast"]) == ["Bacall", "Bogart"]
+
+    def test_empty_answer(self, db):
+        rows = lorel_rows(
+            lorel('select m.Title from DB.Entry.Movie m where m.Year > 2000', db)
+        )
+        assert rows == []
+
+    def test_unknown_alias_raises(self, db):
+        with pytest.raises(LorelRuntimeError):
+            lorel("select x.Title from Nowhere.Entry x", db)
+
+    def test_cyclic_oem_data(self):
+        db = OemDatabase()
+        a, b = db.new_complex(), db.new_complex()
+        t = db.new_atomic("looped")
+        db.add_child(a, "ref", b)
+        db.add_child(b, "back", a)
+        db.add_child(b, "Title", t)
+        db.set_name("DB", a)
+        rows = lorel_rows(lorel("select x.Title from DB.(ref|back)* x", db))
+        titles = [r for r in rows if "Title" in r]
+        assert titles
+
+    def test_answer_preserves_sharing(self, db):
+        answer = lorel(
+            'select m.Cast from DB.Entry.Movie m where m.Title = "Casablanca"', db
+        )
+        answer.validate()  # referential integrity of the copied structure
+
+
+class TestOptimizer:
+    def test_reorder_puts_cheap_first(self):
+        q = parse_lorel(
+            "select a.x from DB.#.deep a, DB.Top b"
+        )
+        ordered = reorder_from_clauses(q)
+        assert ordered.from_clauses[0].alias == "b"
+
+    def test_reorder_respects_dependencies(self):
+        q = parse_lorel("select c.x from DB.#.Movie m, m.Cast c")
+        ordered = reorder_from_clauses(q)
+        aliases = [cl.alias for cl in ordered.from_clauses]
+        assert aliases.index("m") < aliases.index("c")
+
+    def test_optimized_answers_identical(self, db):
+        text = (
+            "select c.Actors, m.Title from DB.#.Movie m, m.Cast c "
+            "where exists c.Actors"
+        )
+        plain = lorel_rows(lorel(text, db, optimize=False))
+        fast = lorel_rows(lorel(text, db, optimize=True))
+        assert plain == fast
+
+    def test_bindings_match_regardless_of_order(self, db):
+        q = parse_lorel("select m.Title from DB.Entry.Movie m, DB.Entry e")
+        plain = lorel_bindings(q, db)
+        ordered = lorel_bindings(reorder_from_clauses(q), db)
+        as_sets = lambda envs: {tuple(sorted(e.items())) for e in envs}
+        assert as_sets(plain) == as_sets(ordered)

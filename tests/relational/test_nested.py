@@ -1,0 +1,138 @@
+"""Tests for the nested-relational extension (nest/unnest, both levels)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.nested import nest, unnest
+from repro.relational.relation import Relation, RelationError
+from repro.unql.relational_bridge import (
+    relation_to_tree,
+    tree_nest,
+    tree_to_relation,
+    tree_unnest,
+)
+
+
+@pytest.fixture()
+def casts() -> Relation:
+    return Relation(
+        ("title", "actor"),
+        [
+            ("Casablanca", "Bogart"),
+            ("Casablanca", "Bacall"),
+            ("Annie Hall", "Allen"),
+        ],
+    )
+
+
+class TestNest:
+    def test_groups_by_keys(self, casts):
+        nested = nest(casts, ("title",), "cast")
+        assert nested.schema == ("title", "cast")
+        assert len(nested) == 2
+        by_title = {row[0]: row[1] for row in nested}
+        assert by_title["Casablanca"] == frozenset({("Bogart",), ("Bacall",)})
+
+    def test_unnest_inverts_nest(self, casts):
+        nested = nest(casts, ("title",), "cast")
+        flat = unnest(nested, "cast", ("actor",))
+        from repro.relational.algebra import project
+
+        assert project(flat, casts.schema) == casts
+
+    def test_empty_groups_lost_after_unnest(self):
+        # the classical caveat: nest of an empty relation has no groups
+        r = Relation(("k", "v"), [])
+        nested = nest(r, ("k",), "vs")
+        assert len(nested) == 0
+
+    def test_nest_everything_keyless(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        nested = nest(r, (), "all")
+        assert len(nested) == 1
+        ((group,),) = nested.rows
+        assert group == frozenset({(1, 2), (3, 4)})
+
+    def test_errors(self, casts):
+        with pytest.raises(RelationError):
+            nest(casts, ("title", "actor"), "x")  # nothing left to nest
+        with pytest.raises(RelationError):
+            nest(casts, ("title",), "title")  # name collision
+        with pytest.raises(RelationError):
+            nest(casts, ("ghost",), "x")
+        with pytest.raises(RelationError):
+            unnest(casts, "actor", ("y",))  # not set-valued
+
+    def test_flat_operators_still_work_on_nested(self, casts):
+        from repro.relational.algebra import select_eq
+
+        nested = nest(casts, ("title",), "cast")
+        one = select_eq(nested, "title", "Casablanca")
+        assert len(one) == 1
+
+
+class TestTreeNest:
+    def test_tree_nest_matches_relational(self, casts):
+        nested_rel = nest(casts, ("title",), "cast")
+        nested_tree = tree_nest(relation_to_tree(casts), ("title",), "cast")
+        # compare through unnest (the tree decode of nested values is the
+        # inner tuple set)
+        flat_back = tree_to_relation(tree_unnest(nested_tree, "cast"))
+        from repro.relational.algebra import project
+
+        assert project(flat_back, casts.schema) == casts
+        # group count agrees
+        tuple_edges = [
+            e
+            for e in nested_tree.edges_from(nested_tree.root)
+        ]
+        assert len(tuple_edges) == len(nested_rel)
+
+    def test_tree_unnest_splices_keys(self, casts):
+        nested_tree = tree_nest(relation_to_tree(casts), ("title",), "cast")
+        flat = tree_to_relation(tree_unnest(nested_tree, "cast"))
+        assert set(flat.schema) == {"title", "actor"}
+        assert len(flat) == 3
+
+    def test_tree_nest_dedups_members(self):
+        r = Relation(("k", "v"), [(1, "a"), (1, "a")])  # Relation dedups anyway
+        tree = tree_nest(relation_to_tree(r), ("k",), "vs")
+        flat = tree_to_relation(tree_unnest(tree, "vs"))
+        assert len(flat) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from("xy"), st.integers(0, 2)),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_prop_unnest_nest_round_trip(rows):
+    r = Relation(("a", "b", "c"), rows)
+    nested = nest(r, ("a",), "rest")
+    flat = unnest(nested, "rest", ("b", "c"))
+    from repro.relational.algebra import project
+
+    assert project(flat, r.schema) == r
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from("xy")),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_prop_tree_nest_agrees_with_relational(rows):
+    r = Relation(("k", "v"), rows)
+    tree = tree_nest(relation_to_tree(r), ("k",), "vs")
+    flat = tree_to_relation(tree_unnest(tree, "vs"))
+    from repro.relational.algebra import project
+
+    assert project(flat, r.schema) == r

@@ -1,0 +1,226 @@
+"""Tests for relations and the relational algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    Difference,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    difference,
+    evaluate,
+    expr_schema,
+    fixpoint,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    select_eq,
+    union,
+)
+from repro.relational.relation import Relation, RelationError
+
+
+@pytest.fixture()
+def movies() -> Relation:
+    return Relation(
+        ("title", "year", "director"),
+        [
+            ("Casablanca", 1942, "Curtiz"),
+            ("Play it again, Sam", 1972, "Ross"),
+            ("Annie Hall", 1977, "Allen"),
+        ],
+    )
+
+
+@pytest.fixture()
+def casts() -> Relation:
+    return Relation(
+        ("title", "actor"),
+        [
+            ("Casablanca", "Bogart"),
+            ("Casablanca", "Bacall"),
+            ("Play it again, Sam", "Allen"),
+            ("Annie Hall", "Allen"),
+        ],
+    )
+
+
+class TestRelation:
+    def test_set_semantics_dedups(self):
+        r = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_arity_checked(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(("a", "a"), [])
+
+    def test_membership_and_iter(self, movies):
+        assert ("Casablanca", 1942, "Curtiz") in movies
+        assert len(list(movies)) == 3
+
+    def test_column(self, movies):
+        assert sorted(movies.column("year")) == [1942, 1972, 1977]
+
+    def test_unknown_attr(self, movies):
+        with pytest.raises(RelationError):
+            movies.attr_pos("nope")
+
+    def test_from_dicts_and_as_dicts(self):
+        r = Relation.from_dicts(("a", "b"), [{"a": 1, "b": 2}])
+        assert r.as_dicts() == [{"a": 1, "b": 2}]
+
+    def test_equality_is_schema_and_rows(self):
+        assert Relation(("a",), [(1,)]) == Relation(("a",), [(1,)])
+        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+
+    def test_index_on(self, casts):
+        idx = casts.index_on(("actor",))
+        assert len(idx[("Allen",)]) == 2
+
+    def test_pretty_renders(self, movies):
+        text = movies.pretty()
+        assert "title" in text and "Casablanca" in text
+
+
+class TestOperators:
+    def test_select(self, movies):
+        hits = select(movies, lambda row: row["year"] > 1970)
+        assert len(hits) == 2
+
+    def test_select_eq(self, movies):
+        hits = select_eq(movies, "director", "Allen")
+        assert hits.column("title") == ["Annie Hall"]
+
+    def test_project_dedups(self, casts):
+        actors = project(casts, ("actor",))
+        assert len(actors) == 3
+
+    def test_rename(self, movies):
+        r = rename(movies, {"title": "name"})
+        assert r.schema == ("name", "year", "director")
+        assert len(r) == 3
+
+    def test_natural_join(self, movies, casts):
+        joined = natural_join(movies, casts)
+        assert joined.schema == ("title", "year", "director", "actor")
+        assert len(joined) == 4
+
+    def test_join_without_shared_attrs_is_product(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("y",), [(3,),])
+        assert len(natural_join(a, b)) == 2
+
+    def test_product_rejects_overlap(self, movies):
+        with pytest.raises(RelationError):
+            product(movies, movies)
+
+    def test_union_difference_intersection(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("x",), [(2,), (3,)])
+        assert sorted(union(a, b).column("x")) == [1, 2, 3]
+        assert difference(a, b).column("x") == [1]
+        assert intersection(a, b).column("x") == [2]
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(RelationError):
+            union(Relation(("x",), []), Relation(("y",), []))
+
+    def test_fixpoint_transitive_closure(self):
+        edges = Relation(("src", "dst"), [(1, 2), (2, 3), (3, 4)])
+
+        def step(reach: Relation) -> Relation:
+            hop = rename(edges, {"src": "dst", "dst": "far"})
+            joined = natural_join(reach, hop)
+            return rename(project(joined, ("src", "far")), {"far": "dst"})
+
+        closure = fixpoint(edges, step)
+        assert (1, 4) in closure
+        assert len(closure) == 6
+
+    def test_fixpoint_on_cycle_terminates(self):
+        edges = Relation(("src", "dst"), [(1, 2), (2, 1)])
+
+        def step(reach: Relation) -> Relation:
+            hop = rename(edges, {"src": "dst", "dst": "far"})
+            return rename(project(natural_join(reach, hop), ("src", "far")), {"far": "dst"})
+
+        closure = fixpoint(edges, step)
+        assert (1, 1) in closure and (2, 2) in closure
+
+
+class TestExpressions:
+    def test_evaluate_pipeline(self, movies, casts):
+        catalog = {"Movies": movies, "Casts": casts}
+        expr = Project(
+            Select(Join(Scan("Movies"), Scan("Casts")), "actor", "Allen"),
+            ("title",),
+        )
+        result = evaluate(expr, catalog)
+        assert sorted(result.column("title")) == ["Annie Hall", "Play it again, Sam"]
+
+    def test_union_difference_exprs(self, movies):
+        catalog = {"M": movies}
+        expr = Difference(Union(Scan("M"), Scan("M")), Scan("M"))
+        assert len(evaluate(expr, catalog)) == 0
+
+    def test_rename_expr(self, movies):
+        out = evaluate(Rename(Scan("M"), "title", "t"), {"M": movies})
+        assert "t" in out.schema
+
+    def test_unknown_relation(self):
+        with pytest.raises(RelationError):
+            evaluate(Scan("missing"), {})
+
+    def test_expr_schema_static(self, movies, casts):
+        schemas = {"M": movies.schema, "C": casts.schema}
+        expr = Project(Join(Scan("M"), Scan("C")), ("title", "actor"))
+        assert expr_schema(expr, schemas) == ("title", "actor")
+
+
+# -- property tests: algebraic laws ------------------------------------------
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8
+)
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_prop_union_commutative(rows_a, rows_b):
+    a = Relation(("x", "y"), rows_a)
+    b = Relation(("x", "y"), rows_b)
+    assert union(a, b) == union(b, a)
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_prop_join_commutes_up_to_schema_order(rows_a, rows_b):
+    a = Relation(("x", "y"), rows_a)
+    b = Relation(("y", "z"), rows_b)
+    ab = natural_join(a, b)
+    ba = natural_join(b, a)
+    # same tuples modulo attribute order
+    reordered = project(ba, ab.schema)
+    assert reordered == ab
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_prop_select_then_project_commute_here(rows):
+    r = Relation(("x", "y"), rows)
+    one = project(select_eq(r, "x", 1), ("x",))
+    other = select_eq(project(r, ("x",)), "x", 1)
+    assert one == other

@@ -1,0 +1,168 @@
+r"""Tests: the UnQL->relational translation agrees with native evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.core.labels import Label
+from repro.relational.translate import TranslationError, translate_bindings
+from repro.unql.evaluator import query_bindings
+from repro.unql.parser import parse_query
+
+
+def native_rows(query, graph) -> set[tuple]:
+    """Native binding environments, flattened to comparable tuples."""
+    envs = query_bindings(query, {"db": graph})
+    out = set()
+    for env in envs:
+        row = []
+        for var in sorted(env):
+            bound = env[var]
+            row.append(bound.value if isinstance(bound, Label) else bound)
+        out.add(tuple(row))
+    return out
+
+
+def translated_rows(query, graph) -> set[tuple]:
+    rel = translate_bindings(query, graph)
+    return set(rel.rows)
+
+
+def db() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {"Movie": {"Title": "Casablanca", "Cast": ["Bogart", "Bacall"], "Year": 1942}},
+                {"Movie": {"Title": "Sam", "Director": "Ross", "Year": 1972}},
+            ]
+        }
+    )
+
+
+AGREEING_QUERIES = [
+    r"select \t where {Entry.Movie.Title: \t} in db",
+    r"select \t where {Entry.Movie: {Title: \t, Year: \y}} in db",
+    r"select \t where {Entry._.Title: \t} in db",
+    r"select \t where {#: {Title: \t}} in db",
+    r"select \t where {Entry.Movie: {Title: \t, Director: \d}} in db",
+    r'select \t where {Entry.Movie: {Title: \t, Year: 1942}} in db',
+    r"select \L where {Entry.Movie: {\L: \v}} in db",
+    r'select \L where {Entry.Movie: {\L: \v}} in db, \L like "D%"',
+    r'select \t where {Entry.Movie: {Title: \t}} in db, {Entry.Movie.Year: \y} in db',
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("text", AGREEING_QUERIES)
+    def test_translation_matches_native(self, text):
+        g = db()
+        q = parse_query(text)
+        assert translated_rows(q, g) == native_rows(q, g)
+
+    def test_on_cyclic_graph(self):
+        g = Graph()
+        a, b, leaf = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "next", b)
+        g.add_edge(b, "next", a)
+        from repro.core.labels import string
+
+        g.add_edge(b, string("v"), leaf)
+        q = parse_query(r"select \t where {#: {\L: \t}} in db")
+        assert translated_rows(q, g) == native_rows(q, g)
+
+    def test_closure_step(self):
+        g = from_obj({"a": {"b": {"c": {"leaf": 1}}}})
+        q = parse_query(r"select \t where {a.#.leaf: \t} in db")
+        assert translated_rows(q, g) == native_rows(q, g)
+
+    def test_repeated_tree_variable(self):
+        # {x: \t, y: \t} requires both edges to reach the same node
+        g = Graph()
+        r, shared = g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "x", shared)
+        g.add_edge(r, "y", shared)
+        other = g.new_node()
+        g.add_edge(r, "y", other)
+        q = parse_query(r"select \t where {x: \t, y: \t} in db")
+        assert translated_rows(q, g) == native_rows(q, g)
+        assert translated_rows(q, g) == {(shared,)}
+
+    def test_comparison_on_label_var(self):
+        g = db()
+        q = parse_query(r'select \L where {Entry.Movie: {\L: \v}} in db, \L != "Title"')
+        assert translated_rows(q, g) == native_rows(q, g)
+
+    def test_empty_result(self):
+        g = db()
+        q = parse_query(r"select \t where {Entry.Ghost: \t} in db")
+        assert translated_rows(q, g) == set()
+
+
+class TestFragmentLimits:
+    def test_alternation_rejected(self):
+        q = parse_query(r"select \t where {Entry.(Movie|Show): \t} in db")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+    def test_negation_rejected(self):
+        q = parse_query(r"select \t where {(!Movie)*: \t} in db")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+    def test_tree_var_condition_rejected(self):
+        q = parse_query(r"select \t where {Entry.Movie.Year: \t} in db, \t > 1950")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+    def test_rebinding_rejected(self):
+        q = parse_query(r"select \t where {Entry.Movie: \m} in db, {Title: \t} in \m")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+    def test_no_bindings_rejected(self):
+        q = parse_query("select 1")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+    def test_typecheck_rejected(self):
+        q = parse_query(r"select \v where {Entry.Movie._: \v} in db, isint(\v)")
+        with pytest.raises(TranslationError):
+            translate_bindings(q, db())
+
+
+@st.composite
+def random_dbs(draw):
+    n = draw(st.integers(2, 6))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(1, 10))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(["a", "b", "c"])),
+            draw(st.sampled_from(nodes)),
+        )
+    return g
+
+
+@given(
+    random_dbs(),
+    st.sampled_from(
+        [
+            r"select \t where {a: \t} in db",
+            r"select \t where {a.b: \t} in db",
+            r"select \t where {#: {a: \t}} in db",
+            r"select \t where {_.b: \t} in db",
+            r"select \L where {\L: \t} in db",
+            r"select \t where {a: \t, b: \u} in db",
+        ]
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_prop_translation_equals_native(g, text):
+    q = parse_query(text)
+    assert translated_rows(q, g) == native_rows(q, g)

@@ -1,0 +1,105 @@
+"""Tests for the ACeDB-style model-file schema language."""
+
+import pytest
+
+from repro.core.builder import from_obj
+from repro.datasets import generate_acedb
+from repro.schema.acedb_schema import AcedbModelError, parse_acedb_model
+
+MODEL = """
+// a C. elegans flavoured model, per section 1.1
+?Locus   Locus_name  Text
+         Phenotype   Text
+         Reference   ?Paper
+         Maps_to     ?Map
+         Clone       Tree
+
+?Paper   Author      Text
+         Year        Int
+
+?Map     Map_name    Text
+"""
+
+
+class TestParsing:
+    def test_classes_become_root_edges(self):
+        schema = parse_acedb_model(MODEL)
+        names = set()
+        for edge in schema.edges_from(schema.root):
+            names.add(str(edge.predicate))
+        assert names == {"`Locus`", "`Paper`", "`Map`"}
+
+    def test_comments_and_blank_lines_ignored(self):
+        schema = parse_acedb_model("// intro\n\n?A x Text // trailing\n")
+        assert schema.num_nodes >= 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "Attr Text",                # attribute before any class
+            "?A x",                     # missing type
+            "?A x Nope",                # unknown type
+            "?A x ?Ghost",              # dangling reference
+            "? x Text",                 # empty class name
+            "?A x Text\n?A y Text",     # duplicate class
+        ],
+    )
+    def test_model_errors(self, bad):
+        with pytest.raises(AcedbModelError):
+            parse_acedb_model(bad)
+
+
+class TestConformance:
+    def test_generated_data_conforms(self):
+        schema = parse_acedb_model(MODEL)
+        assert schema.conforms(generate_acedb(60, seed=9))
+
+    def test_loose_constraints_missing_attrs_ok(self):
+        schema = parse_acedb_model(MODEL)
+        assert schema.conforms(from_obj({"Locus": {"Locus_name": "unc-1"}}))
+        assert schema.conforms(from_obj({}))  # even nothing at all
+
+    def test_unknown_attribute_violates(self):
+        schema = parse_acedb_model(MODEL)
+        bad = from_obj({"Locus": {"Salary": 90000}})
+        assert not schema.conforms(bad)
+        assert any("Salary" in v for v in schema.violations(bad))
+
+    def test_type_mismatch_violates(self):
+        schema = parse_acedb_model(MODEL)
+        bad = from_obj({"Locus": {"Reference": {"Year": "nineteen"}}})
+        assert not schema.conforms(bad)
+
+    def test_class_references_follow(self):
+        schema = parse_acedb_model(MODEL)
+        good = from_obj(
+            {"Locus": {"Reference": {"Author": "Sulston", "Year": 1983}}}
+        )
+        assert schema.conforms(good)
+
+    def test_tree_attribute_is_unbounded(self):
+        schema = parse_acedb_model(MODEL)
+        deep = {"anything": {"goes": {"to": {"any": {"depth": [1, "x", True]}}}}}
+        assert schema.conforms(from_obj({"Locus": {"Clone": deep}}))
+
+    def test_cyclic_class_references(self):
+        schema = parse_acedb_model(
+            """
+            ?Person  Name    Text
+                     Friend  ?Person
+            """
+        )
+        from repro.core.graph import Graph
+        from repro.core.labels import string
+
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(g.new_node())
+        g.add_edge(g.root, "Person", a)
+        g.add_edge(a, "Friend", b)
+        g.add_edge(b, "Friend", a)  # a friendship cycle
+        holder, leaf = g.new_node(), g.new_node()
+        g.add_edge(a, "Name", holder)
+        g.add_edge(holder, string("x"), leaf)
+        assert schema.conforms(g)

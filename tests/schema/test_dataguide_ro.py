@@ -1,0 +1,259 @@
+"""Tests for DataGuides and representative objects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisim import bisimilar, reduce_graph
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.core.labels import sym
+from repro.schema.dataguide import DataGuide
+from repro.schema.representative import (
+    k_bisimulation,
+    representative_object,
+    ro_path_exists,
+)
+
+
+def path(*names: str):
+    return tuple(sym(n) for n in names)
+
+
+@pytest.fixture()
+def db() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {"Movie": {"Title": "A", "Cast": "X"}},
+                {"Movie": {"Title": "B", "Director": "Y"}},
+                {"Show": {"Title": "C"}},
+            ]
+        }
+    )
+
+
+class TestDataGuide:
+    def test_each_path_once(self, db):
+        guide = DataGuide(db)
+        paths = list(guide.all_paths(3))
+        assert len(paths) == len(set(paths))
+
+    def test_path_exists(self, db):
+        guide = DataGuide(db)
+        assert guide.path_exists(path("Entry", "Movie", "Title"))
+        assert guide.path_exists(path("Entry", "Show"))
+        assert not guide.path_exists(path("Entry", "Movie", "Nothing"))
+
+    def test_target_sets_union_same_paths(self, db):
+        guide = DataGuide(db)
+        targets = guide.target_set(path("Entry", "Movie", "Title"))
+        # both movie titles' nodes
+        assert len(targets) == 2
+
+    def test_target_set_of_missing_path_empty(self, db):
+        guide = DataGuide(db)
+        assert guide.target_set(path("Zzz")) == frozenset()
+
+    def test_labels_after_for_browsing(self, db):
+        guide = DataGuide(db)
+        after = guide.labels_after(path("Entry", "Movie"))
+        names = [str(l.value) for l in after]
+        assert names == sorted(["Title", "Cast", "Director"])
+
+    def test_empty_path_targets_root(self, db):
+        guide = DataGuide(db)
+        assert guide.target_set(()) == frozenset({db.root})
+
+    def test_on_cyclic_graph_finite(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "n", b)
+        g.add_edge(b, "n", a)
+        guide = DataGuide(g)
+        assert guide.num_states <= 4
+        assert guide.path_exists(path(*(["n"] * 7)))
+
+    def test_guide_smaller_than_data_on_regular_data(self):
+        # many identically-shaped movies collapse to a handful of states
+        movies = [{"Movie": {"Title": "T", "Year": 1900}} for _ in range(30)]
+        g = from_obj({"Entry": movies})
+        guide = DataGuide(g)
+        assert guide.num_states < g.num_nodes / 3
+
+    def test_as_graph_accepts_same_paths(self, db):
+        guide = DataGuide(db)
+        gg = guide.as_graph()
+        # every db path exists in the guide graph
+        from repro.automata.product import rpq_nodes
+
+        assert rpq_nodes(gg, "Entry.Movie.Title")
+        assert not rpq_nodes(gg, "Entry.Movie.Ghost")
+
+
+class TestRepresentativeObjects:
+    def test_k0_collapses_to_self_loops(self, db):
+        ro = representative_object(db, 0)
+        assert ro.num_nodes == 1
+
+    def test_k_refines_monotonically(self, db):
+        sizes = [representative_object(db, k).num_nodes for k in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_large_k_equals_full_bisimulation(self, db):
+        full = reduce_graph(db)
+        ro = representative_object(db, db.num_nodes + 1)
+        assert ro.num_nodes == full.num_nodes
+        assert bisimilar(ro, full)
+
+    def test_path_soundness_to_depth_k(self, db):
+        k = 2
+        ro = representative_object(db, k)
+        guide = DataGuide(db)
+        for p in guide.all_paths(k):
+            assert ro_path_exists(ro, p)
+
+    def test_no_missing_paths_ever(self, db):
+        # completeness: every real path (any length) exists in the RO
+        ro = representative_object(db, 1)
+        guide = DataGuide(db)
+        for p in guide.all_paths(3):
+            assert ro_path_exists(ro, p)
+
+    def test_spurious_paths_possible_beyond_k(self):
+        # two distinct shapes merged at k=0 can create paths that no
+        # database object has
+        g = from_obj({"a": {"x": None}, "b": {"y": None}})
+        ro = representative_object(g, 0)
+        assert ro_path_exists(ro, path("a", "a"))  # spurious but allowed
+
+    def test_negative_k_rejected(self, db):
+        with pytest.raises(ValueError):
+            k_bisimulation(db, -1)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(1, 6))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(0, 10))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from("abc")),
+            draw(st.sampled_from(nodes)),
+        )
+    return g
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_prop_dataguide_paths_equal_graph_paths(g):
+    """The DataGuide accepts exactly the label paths of the database."""
+    guide = DataGuide(g)
+    guide_paths = set(guide.all_paths(4))
+    # enumerate the graph's actual label paths to length 4
+    real: set[tuple] = set()
+
+    def walk(node, prefix):
+        real.add(prefix)
+        if len(prefix) >= 4:
+            return
+        for e in g.edges_from(node):
+            walk(e.dst, prefix + (e.label,))
+
+    walk(g.root, ())
+    assert guide_paths == real
+
+
+@given(graphs(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_prop_ro_complete_for_short_paths(g, k):
+    ro = representative_object(g, k)
+    guide = DataGuide(g)
+    for p in guide.all_paths(k):
+        assert ro_path_exists(ro, p)
+
+
+class TestPathsEquivalent:
+    def test_reflexive(self, db):
+        from repro.schema.dataguide import paths_equivalent
+
+        assert paths_equivalent(db, db)
+
+    def test_bisimilar_implies_path_equivalent(self):
+        from repro.core.bisim import reduce_graph
+        from repro.schema.dataguide import paths_equivalent
+
+        g = from_obj({"a": {"c": None}, "b": {"c": None}})
+        assert paths_equivalent(g, reduce_graph(g))
+
+    def test_path_equivalent_but_not_bisimilar(self):
+        from repro.core.bisim import bisimilar
+        from repro.schema.dataguide import paths_equivalent
+
+        # {a: {b}, a: {c}}  vs  {a: {b, c}}: same paths, different branching
+        split = from_obj({"a": [{"b": None}, {"c": None}]})
+        merged = from_obj({"a": {"b": None, "c": None}})
+        assert paths_equivalent(split, merged)
+        assert not bisimilar(split, merged)
+
+    def test_different_paths_detected(self):
+        from repro.schema.dataguide import paths_equivalent
+
+        assert not paths_equivalent(from_obj({"a": None}), from_obj({"b": None}))
+        assert not paths_equivalent(
+            from_obj({"a": {"b": None}}), from_obj({"a": None})
+        )
+
+    def test_cyclic_vs_unfolded_cycle(self):
+        from repro.schema.dataguide import paths_equivalent
+
+        loop = Graph()
+        n = loop.new_node()
+        loop.set_root(n)
+        loop.add_edge(n, "x", n)
+        finite = from_obj({"x": {"x": None}})
+        assert not paths_equivalent(loop, finite)  # x^3 only in the loop
+
+
+class TestRpqViaDataguide:
+    def test_exactness_on_fixtures(self, db):
+        from repro.automata.product import rpq_nodes
+        from repro.schema.dataguide import rpq_via_dataguide
+
+        guide = DataGuide(db)
+        for pattern in [
+            "Entry.Movie.Title",
+            "Entry.(Movie|Show).Title",
+            "#",
+            "Entry._._",
+            "Entry.Movie.Ghost",
+        ]:
+            assert rpq_via_dataguide(guide, pattern) == frozenset(
+                rpq_nodes(db, pattern)
+            ), pattern
+
+    def test_exactness_on_cycles(self):
+        from repro.automata.product import rpq_nodes
+        from repro.schema.dataguide import rpq_via_dataguide
+
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "n", b)
+        g.add_edge(b, "n", a)
+        guide = DataGuide(g)
+        assert rpq_via_dataguide(guide, "n.n*") == frozenset(rpq_nodes(g, "n.n*"))
+
+
+@given(graphs(), st.sampled_from(["a", "a.b", "(a|b)*", "#.c", "a*.b"]))
+@settings(max_examples=80, deadline=None)
+def test_prop_rpq_via_dataguide_is_exact(g, pattern):
+    from repro.automata.product import rpq_nodes
+    from repro.schema.dataguide import rpq_via_dataguide
+
+    guide = DataGuide(g)
+    assert rpq_via_dataguide(guide, pattern) == frozenset(rpq_nodes(g, pattern))

@@ -1,0 +1,212 @@
+"""Tests for schema pruning, schema inference, and table extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.product import rpq_nodes
+from repro.automata.regex import (
+    any_label,
+    exact,
+    glob_symbol,
+    negated,
+    type_test,
+)
+from repro.core.builder import from_obj
+from repro.core.labels import LabelKind
+from repro.relational.encode import relational_to_graph
+from repro.relational.relation import Relation
+from repro.schema.graphschema import GraphSchema
+from repro.schema.inference import infer_schema
+from repro.schema.prune import (
+    predicates_may_overlap,
+    pruned_rpq_nodes,
+    schema_reachable_states,
+)
+from repro.schema.to_relational import extract_tables
+
+
+@pytest.fixture()
+def db():
+    return from_obj(
+        {
+            "Entry": [
+                {"Movie": {"Title": "Casablanca", "Year": 1942}},
+                {"Movie": {"Title": "Sam", "Year": 1972}},
+            ]
+        }
+    )
+
+
+@pytest.fixture()
+def schema(db):
+    return infer_schema(db)
+
+
+class TestPredicateOverlap:
+    def test_exact_vs_exact(self):
+        assert predicates_may_overlap(exact("a"), exact("a"))
+        assert not predicates_may_overlap(exact("a"), exact("b"))
+
+    def test_any_overlaps_everything(self):
+        assert predicates_may_overlap(any_label(), exact("a"))
+        assert predicates_may_overlap(type_test(LabelKind.INT), any_label())
+
+    def test_exact_vs_glob(self):
+        assert predicates_may_overlap(exact("actors"), glob_symbol("act%"))
+        assert not predicates_may_overlap(exact("producers"), glob_symbol("act%"))
+
+    def test_exact_vs_type(self):
+        assert predicates_may_overlap(exact(42), type_test(LabelKind.INT))
+        assert not predicates_may_overlap(exact(42), type_test(LabelKind.STRING))
+
+    def test_disjoint_kinds(self):
+        assert not predicates_may_overlap(
+            glob_symbol("a%"), type_test(LabelKind.INT)
+        )
+
+    def test_negation_vs_exact(self):
+        assert not predicates_may_overlap(negated(exact("a")), exact("a"))
+        assert predicates_may_overlap(negated(exact("a")), exact("b"))
+
+    def test_glob_prefix_disagreement(self):
+        assert not predicates_may_overlap(glob_symbol("abc%"), glob_symbol("xyz%"))
+        assert predicates_may_overlap(glob_symbol("ab%"), glob_symbol("abc%"))
+
+    def test_conservative_cases_stay_true(self):
+        # undecided combinations must answer True (never wrongly prune)
+        assert predicates_may_overlap(negated(glob_symbol("a%")), glob_symbol("b%"))
+
+
+class TestSchemaPruning:
+    def test_existing_path_not_pruned(self, db, schema):
+        states = schema_reachable_states(schema, "Entry.Movie.Title")
+        assert states
+
+    def test_absent_path_pruned(self, db, schema):
+        assert schema_reachable_states(schema, "Entry.Ghost.Title") == set()
+
+    def test_pruned_evaluation_matches_plain(self, db, schema):
+        for pattern in ["Entry.Movie.Title", "Entry.Ghost", "#.<int>", "Entry._._"]:
+            assert pruned_rpq_nodes(db, schema, pattern) == rpq_nodes(db, pattern)
+
+    def test_star_patterns_prunable(self, db, schema):
+        assert schema_reachable_states(schema, "Ghost*") != set()  # eps match at root
+        assert schema_reachable_states(schema, "Ghost+") == set()
+
+    def test_type_test_respected(self, db, schema):
+        # Year holds ints: <int> below Year exists, <bool> nowhere
+        assert schema_reachable_states(schema, "Entry.Movie.Year.<int>")
+        assert not schema_reachable_states(schema, "#.<bool>")
+
+
+class TestInference:
+    def test_inferred_schema_conforms(self, db):
+        assert infer_schema(db).conforms(db)
+
+    def test_inferred_schema_conforms_with_k(self, db):
+        for k in (0, 1, 2):
+            assert infer_schema(db, k=k).conforms(db)
+
+    def test_data_values_generalize_to_types(self, db, schema):
+        # a database with new titles/years still conforms: values were
+        # generalized to <string>/<int>
+        other = from_obj(
+            {"Entry": {"Movie": {"Title": "Vertigo", "Year": 1958}}}
+        )
+        assert schema.conforms(other)
+
+    def test_new_attributes_do_not_conform(self, db, schema):
+        other = from_obj({"Entry": {"Movie": {"BoxOffice": 1}}})
+        assert not schema.conforms(other)
+
+    def test_schema_smaller_than_regular_data(self):
+        movies = [{"Movie": {"Title": f"T{i}", "Year": i}} for i in range(20)]
+        g = from_obj({"Entry": movies})
+        schema = infer_schema(g)
+        assert schema.num_nodes < g.num_nodes / 2
+
+
+class TestExtraction:
+    def test_recovers_relational_image(self):
+        catalog = {
+            "Movies": Relation(("title", "year"), [("A", 1), ("B", 2)]),
+        }
+        g = relational_to_graph(catalog)
+        report = extract_tables(g)
+        assert "Movies" in report.tables
+        assert report.tables["Movies"] == Relation(
+            ("title", "year"), [("A", 1), ("B", 2)]
+        )
+
+    def test_partial_records_skipped_strict(self):
+        g = from_obj(
+            {"People": [
+                {"person": {"name": "a", "age": 1}},
+            ]}
+        )
+        # build a collection with a missing attribute
+        g = from_obj({"Items": None})
+        from repro.core.graph import Graph
+
+        g = Graph()
+        root, coll = g.new_node(), g.new_node()
+        g.set_root(root)
+        g.add_edge(root, "Items", coll)
+        for row in ({"a": 1, "b": 2}, {"a": 3}):
+            rec = g.new_node()
+            g.add_edge(coll, "item", rec)
+            for attr, val in row.items():
+                holder, leaf = g.new_node(), g.new_node()
+                g.add_edge(rec, attr, holder)
+                g.add_edge(holder, val, leaf)
+        strict = extract_tables(g)
+        assert "Items" not in strict.tables
+        assert strict.skipped
+
+    def test_partial_records_padded_when_allowed(self):
+        from repro.core.graph import Graph
+
+        g = Graph()
+        root, coll = g.new_node(), g.new_node()
+        g.set_root(root)
+        g.add_edge(root, "Items", coll)
+        for row in ({"a": 1, "b": 2}, {"a": 3}):
+            rec = g.new_node()
+            g.add_edge(coll, "item", rec)
+            for attr, val in row.items():
+                holder, leaf = g.new_node(), g.new_node()
+                g.add_edge(rec, attr, holder)
+                g.add_edge(holder, val, leaf)
+        relaxed = extract_tables(g, allow_missing=True)
+        assert relaxed.tables["Items"].schema == ("a", "b")
+        assert (3, None) in relaxed.tables["Items"].rows
+
+    def test_non_record_members_skipped(self):
+        g = from_obj({"Stuff": [{"item": {"deep": {"nested": 1}}}, {"item": {"x": 2}}]})
+        report = extract_tables(g)
+        assert not report.tables
+
+    def test_single_member_not_a_collection(self):
+        g = from_obj({"One": {"item": {"a": 1}}})
+        assert extract_tables(g).tables == {}
+
+
+@st.composite
+def catalogs(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.sampled_from(["x", "y", "z"])),
+            min_size=2,
+            max_size=5,
+            unique=True,
+        )
+    )
+    return {"T": Relation(("a", "b"), rows)}
+
+
+@given(catalogs())
+@settings(max_examples=40, deadline=None)
+def test_prop_extract_inverts_encode(catalog):
+    report = extract_tables(relational_to_graph(catalog))
+    assert report.tables.get("T") == catalog["T"]

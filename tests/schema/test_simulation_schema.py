@@ -1,0 +1,159 @@
+"""Tests for simulation and graph schemas (section 5)."""
+
+import pytest
+
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.schema.graphschema import GraphSchema, SchemaError
+from repro.schema.simulation import graph_simulation
+
+
+@pytest.fixture()
+def movie_schema() -> GraphSchema:
+    return GraphSchema.from_spec(
+        {
+            "Entry": {
+                "Movie": {
+                    "Title": {"<string>": None},
+                    "Cast": "_",
+                    "Director": {"<string>": None},
+                    "Year": {"<int>": None},
+                },
+                "`TV Show`": {
+                    "Title": {"<string>": None},
+                    "act%": "_",
+                },
+            }
+        }
+    )
+
+
+def conforming_db() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {"Movie": {"Title": "Casablanca", "Year": 1942}},
+                {"Movie": {"Cast": {"x": {"deep": 1}}}},
+                {"TV Show": {"Title": "Special", "actors": {"y": None}}},
+            ]
+        }
+    )
+
+
+class TestGraphSimulation:
+    def test_every_graph_simulates_itself(self):
+        g = from_obj({"a": {"b": None}})
+        sim = graph_simulation(g, g)
+        assert all((n, n) in sim for n in g.reachable())
+
+    def test_subtree_simulated_by_supertree(self):
+        small = from_obj({"a": None})
+        big = from_obj({"a": None, "b": None})
+        sim = graph_simulation(small, big)
+        assert (small.root, big.root) in sim
+
+    def test_supertree_not_simulated_by_subtree(self):
+        small = from_obj({"a": None})
+        big = from_obj({"a": None, "b": None})
+        sim = graph_simulation(big, small)
+        assert (big.root, small.root) not in sim
+
+    def test_leaf_simulated_by_everything(self):
+        leaf = Graph.empty()
+        big = from_obj({"x": {"y": None}})
+        sim = graph_simulation(leaf, big)
+        assert len(sim) == len(big.reachable())
+
+    def test_cycle_simulated_by_self_loop(self):
+        cyc = Graph()
+        a, b = cyc.new_node(), cyc.new_node()
+        cyc.set_root(a)
+        cyc.add_edge(a, "n", b)
+        cyc.add_edge(b, "n", a)
+        loop = Graph()
+        x = loop.new_node()
+        loop.set_root(x)
+        loop.add_edge(x, "n", x)
+        sim = graph_simulation(cyc, loop)
+        assert (a, x) in sim and (b, x) in sim
+
+    def test_label_mismatch_blocks_simulation(self):
+        small = from_obj({"a": None})
+        big = from_obj({"b": None})
+        sim = graph_simulation(small, big)
+        assert (small.root, big.root) not in sim
+
+
+class TestGraphSchema:
+    def test_conforming_data(self, movie_schema):
+        assert movie_schema.conforms(conforming_db())
+
+    def test_missing_attributes_still_conform(self, movie_schema):
+        # loose constraints: nothing is required, only allowed
+        assert movie_schema.conforms(from_obj({"Entry": {"Movie": {}}}))
+        assert movie_schema.conforms(from_obj({}))
+
+    def test_unknown_edge_violates(self, movie_schema):
+        bad = from_obj({"Entry": {"Movie": {"BoxOffice": 100}}})
+        assert not movie_schema.conforms(bad)
+
+    def test_wrong_value_type_violates(self, movie_schema):
+        bad = from_obj({"Entry": {"Movie": {"Year": "nineteen42"}}})
+        assert not movie_schema.conforms(bad)
+
+    def test_glob_predicate_edge(self, movie_schema):
+        ok = from_obj({"Entry": {"TV Show": {"actors": {"anything": 1}}}})
+        assert movie_schema.conforms(ok)
+        bad = from_obj({"Entry": {"TV Show": {"producers": 1}}})
+        assert not movie_schema.conforms(bad)
+
+    def test_wildcard_subtree_allows_anything(self, movie_schema):
+        deep = from_obj(
+            {"Entry": {"Movie": {"Cast": {"a": {"b": {"c": [1, "x", True]}}}}}}
+        )
+        assert movie_schema.conforms(deep)
+
+    def test_violations_report(self, movie_schema):
+        bad = from_obj({"Entry": {"Movie": {"BoxOffice": 100}}})
+        problems = movie_schema.violations(bad)
+        assert problems
+        assert any("BoxOffice" in p for p in problems)
+
+    def test_violations_empty_when_conforming(self, movie_schema):
+        assert movie_schema.violations(conforming_db()) == []
+
+    def test_classify_types_nodes(self, movie_schema):
+        db = conforming_db()
+        classification = movie_schema.classify(db)
+        # every reachable node got at least one schema type
+        assert all(classification[n] for n in db.reachable())
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.from_spec({"a.b": None})  # not a single atom
+        with pytest.raises(SchemaError):
+            GraphSchema.from_spec({"a": 42})
+
+    def test_cyclic_data_against_schema(self):
+        schema = GraphSchema.from_spec({"next": None})
+        # schema: next -> (wildcard self-loop).  Data: a 2-cycle of next.
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "next", b)
+        g.add_edge(b, "next", a)
+        assert schema.conforms(g)
+
+    def test_cyclic_schema(self):
+        # schema with a cycle: list of items, each item may hold a list
+        schema = GraphSchema()
+        lst, item = schema.new_node(), schema.new_node()
+        schema.set_root(lst)
+        from repro.automata.regex import exact
+
+        schema.add_edge(lst, exact("item"), item)
+        schema.add_edge(item, exact("sublist"), lst)
+        data = from_obj({"item": {"sublist": {"item": {}}}})
+        assert schema.conforms(data)
+        bad = from_obj({"item": {"wrong": 1}})
+        assert not schema.conforms(bad)

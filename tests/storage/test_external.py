@@ -1,0 +1,121 @@
+"""Tests for dynamically-fetched external data ([28])."""
+
+import pytest
+
+from repro.automata.product import rpq_nodes, rpq_witnesses
+from repro.browse import find_value
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.storage.external import EXTERNAL_MARKER, ExternalGraph
+
+
+def build_database():
+    """A local catalog whose `Homepage` regions live externally.
+
+    Each person has a local ``Homepage`` edge to an empty node that is
+    stubbed: fetching happens when (and only when) a traversal inspects
+    that node's edges -- the [28] semantics.
+    """
+    g = from_obj(
+        {
+            "Person": [
+                {"Name": "Buneman"},
+                {"Name": "Suciu"},
+            ]
+        }
+    )
+    person_nodes = sorted(rpq_nodes(g, "Person"))
+    for i, node in enumerate(person_nodes):
+        homepage = g.new_node()
+        g.add_edge(node, "Homepage", homepage)
+        ExternalGraph.add_stub(g, homepage, f"homepage-{i}")
+    return g
+
+
+def fetcher_log():
+    fetched = []
+
+    def fetch(key: str) -> Graph:
+        fetched.append(key)
+        return from_obj({"url": f"http://ext/{key}", "topic": "databases"})
+
+    return fetch, fetched
+
+
+class TestExternalGraph:
+    def test_no_fetch_until_traversed(self):
+        fetch, fetched = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        assert ext.pending_fetches == 2
+        assert fetched == []
+
+    def test_marker_edges_hidden(self):
+        fetch, _ = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        labels = {e.label for e in ext.edges_from(ext.root)}
+        assert EXTERNAL_MARKER not in labels
+
+    def test_traversal_fetches_on_demand(self):
+        fetch, fetched = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        hits = rpq_nodes(ext, "Person.Homepage.url")
+        assert len(hits) == 2
+        assert sorted(fetched) == ["homepage-0", "homepage-1"]
+        assert ext.fetch_count == 2
+
+    def test_each_region_fetched_once(self):
+        fetch, fetched = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        rpq_nodes(ext, "Person.Homepage")
+        rpq_nodes(ext, "Person.Homepage.topic")
+        assert len(fetched) == 2  # cached, not re-fetched
+
+    def test_partial_traversal_fetches_partially(self):
+        fetch, fetched = fetcher_log()
+        base = build_database()
+        ext = ExternalGraph(base, fetch)
+        # a query that never enters the external regions
+        names = rpq_nodes(ext, "Person.Name")
+        assert len(names) == 2
+        assert fetched == []
+        assert ext.pending_fetches == 2
+
+    def test_witnesses_through_external_data(self):
+        fetch, _ = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        wit = rpq_witnesses(ext, 'Person.Homepage.topic."databases"')
+        assert wit
+
+    def test_snapshot_reflects_fetch_state(self):
+        fetch, _ = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        before = ext.snapshot()
+        assert not rpq_nodes(before, "Person.Homepage.url")
+        rpq_nodes(ext, "Person.Homepage.url")
+        after = ext.snapshot()
+        assert rpq_nodes(after, "Person.Homepage.url")
+
+    def test_reachable_forces_everything(self):
+        fetch, fetched = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        ext.reachable()
+        assert ext.pending_fetches == 0
+        assert len(fetched) == 2
+
+    def test_browsing_works_over_external(self):
+        fetch, _ = fetcher_log()
+        ext = ExternalGraph(build_database(), fetch)
+        hits = find_value(ext, "databases")
+        assert len(hits) == 2
+
+    def test_nested_external_regions(self):
+        # external data may itself contain stubs... one level at a time:
+        # the fetched subtree's stubs are NOT auto-registered (documented
+        # limitation of this single-level wrapper); its plain data works.
+        fetch, _ = fetcher_log()
+        base = Graph()
+        root = base.new_node()
+        base.set_root(root)
+        ExternalGraph.add_stub(base, root, "homepage-outer")
+        ext = ExternalGraph(base, fetch)
+        assert rpq_nodes(ext, "url")

@@ -1,0 +1,112 @@
+"""Robustness / failure-injection tests: no input may crash uncleanly.
+
+Parsers must answer every string with either a parse or their documented
+syntax error; the deserializer must answer every byte string with either a
+graph or :class:`SerializationError`.  Anything else (KeyError,
+RecursionError, UnboundLocalError...) is a bug.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.regex import RegexSyntaxError, parse_path_regex
+from repro.core.builder import from_obj
+from repro.datalog import DatalogSyntaxError, parse_program
+from repro.lorel import LorelSyntaxError, parse_lorel
+from repro.storage import SerializationError, dumps, loads
+from repro.unql import UnqlSyntaxError, parse_query
+
+# characters likely to stress each grammar
+_REGEX_ALPHABET = 'abM.()|*+?_#!%<>"\'`1234567890- '
+_QUERY_ALPHABET = 'select where in union like {}:,\\tLM."\'`%#()=<>! 123'
+_DATALOG_ALPHABET = 'pqXY(),.:-not"% 123\n'
+
+
+@given(st.text(alphabet=_REGEX_ALPHABET, max_size=30))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_regex_parser(text):
+    try:
+        parse_path_regex(text)
+    except RegexSyntaxError:
+        pass
+
+
+@given(st.text(alphabet=_QUERY_ALPHABET, max_size=50))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_unql_parser(text):
+    try:
+        parse_query(text)
+    except UnqlSyntaxError:
+        pass
+
+
+@given(st.text(alphabet=_QUERY_ALPHABET, max_size=50))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_lorel_parser(text):
+    try:
+        parse_lorel(text)
+    except LorelSyntaxError:
+        pass
+
+
+@given(st.text(alphabet=_DATALOG_ALPHABET, max_size=50))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_datalog_parser(text):
+    try:
+        parse_program(text)
+    except DatalogSyntaxError:
+        pass
+
+
+@given(st.binary(max_size=80))
+@settings(max_examples=300, deadline=None)
+def test_fuzz_deserializer_random_bytes(data):
+    try:
+        loads(data)
+    except SerializationError:
+        pass
+
+
+@given(st.binary(min_size=1, max_size=8), st.integers(0, 200))
+@settings(max_examples=200, deadline=None)
+def test_fuzz_deserializer_mutated_graphs(noise, position):
+    """Bit-flip a valid serialization: decode must succeed or raise cleanly."""
+    base = dumps(from_obj({"Movie": {"Title": "Casablanca", "Year": 1942}}))
+    position %= len(base)
+    mutated = base[:position] + noise + base[position + len(noise):]
+    try:
+        loads(mutated)
+    except SerializationError:
+        pass
+    except UnicodeDecodeError:
+        pass  # corrupt string payload: also a clean, typed failure
+
+
+class TestDeepInputs:
+    def test_deeply_nested_ingestion(self):
+        obj = None
+        for _ in range(300):
+            obj = {"n": obj}
+        g = from_obj(obj)
+        assert g.num_edges == 300
+
+    def test_deep_regex_nesting(self):
+        pattern = "(" * 40 + "a" + ")" * 40
+        node = parse_path_regex(pattern)
+        assert node is not None
+
+    def test_unbalanced_regex_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_path_regex("(" * 50 + "a")
+
+    def test_huge_flat_object(self):
+        g = from_obj({f"k{i}": i for i in range(2000)})
+        assert g.out_degree(g.root) == 2000
+
+    def test_pathological_star_nesting(self):
+        from repro.automata.product import rpq_nodes
+
+        g = from_obj({"a": {"a": {"a": None}}})
+        hits = rpq_nodes(g, "((a*)*)*")
+        assert len(hits) == 4

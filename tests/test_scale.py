@@ -1,0 +1,95 @@
+"""Scale smoke tests: the whole stack at laptop-realistic sizes.
+
+Not micro-benchmarks (those live in benchmarks/) -- these guard against
+accidental quadratic blowups by running the main pipelines at sizes where
+O(n^2) would visibly hang, with generous wall-clock ceilings.
+"""
+
+import time
+
+import pytest
+
+from repro.automata.product import rpq_nodes
+from repro.core.bisim import bisimilar, reduce_graph
+from repro.datasets import generate_movies, generate_web
+from repro.index import GraphIndexes
+from repro.schema.dataguide import DataGuide
+from repro.schema.inference import infer_schema
+from repro.storage import dumps, loads
+from repro.unql import relabel, unql
+from repro.core.labels import sym
+
+
+def within(seconds: float):
+    """Context manager asserting a wall-clock ceiling."""
+
+    class _Ctx:
+        def __enter__(self):
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            elapsed = time.perf_counter() - self.start
+            assert elapsed < seconds, f"took {elapsed:.1f}s, ceiling {seconds}s"
+            return False
+
+    return _Ctx()
+
+
+@pytest.fixture(scope="module")
+def big_movies():
+    return generate_movies(3000, seed=900)
+
+
+@pytest.fixture(scope="module")
+def big_web():
+    return generate_web(2000, seed=900)
+
+
+class TestScale:
+    def test_generation_size(self, big_movies):
+        assert big_movies.num_edges > 30_000
+
+    def test_rpq_on_large_graph(self, big_movies):
+        with within(15):
+            hits = rpq_nodes(big_movies, "Entry.Movie.Cast.#.<string>")
+        assert hits
+
+    def test_indexes_build(self, big_movies):
+        with within(30):
+            GraphIndexes(big_movies).build_all()
+
+    def test_unql_query(self, big_movies):
+        with within(30):
+            out = unql(
+                r"select \t where {Entry.Movie: {Title: \t, Year: \y}} in db, \y > 1980",
+                db=big_movies,
+            )
+        assert out.out_degree(out.root) > 50
+
+    def test_structural_recursion(self, big_web):
+        with within(60):
+            out = relabel(
+                big_web,
+                lambda lab: sym(str(lab.value).upper()) if lab.is_symbol else lab,
+            )
+        assert out.num_edges >= big_web.num_edges
+
+    def test_bisimulation_reduction(self, big_movies):
+        with within(60):
+            reduced = reduce_graph(big_movies)
+        assert reduced.num_nodes < big_movies.num_nodes
+
+    def test_dataguide(self, big_movies):
+        with within(30):
+            guide = DataGuide(big_movies)
+        assert guide.num_states < big_movies.num_nodes
+
+    def test_schema_inference(self, big_movies):
+        with within(60):
+            schema = infer_schema(big_movies)
+        assert schema.num_nodes < 1000
+
+    def test_serialization(self, big_movies):
+        with within(30):
+            assert bisimilar(loads(dumps(big_movies)), big_movies)

@@ -1,0 +1,163 @@
+r"""Edge-case tests for the UnQL evaluator: conditions, coercions, errors."""
+
+import pytest
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj, to_obj
+from repro.core.graph import Graph
+from repro.unql import UnqlRuntimeError, unql
+
+
+@pytest.fixture()
+def db():
+    return from_obj(
+        {
+            "Movie": [
+                {"Title": "Casablanca", "Year": 1942, "Rating": 8.5},
+                {"Title": "Vertigo", "Year": 1958, "Rating": 8.3},
+            ]
+        }
+    )
+
+
+class TestConditions:
+    def test_var_to_var_comparison(self, db):
+        out = unql(
+            r"select \t where {Movie: {Title: \t, Year: \a}} in db,"
+            r" {Movie.Year: \b} in db, \a < \b",
+            db=db,
+        )
+        values = {e.label.value for e in out.edges_from(out.root)}
+        assert values == {"Casablanca"}  # only 1942 < 1958
+
+    def test_chained_conditions_are_conjunctive(self, db):
+        out = unql(
+            r"select \t where {Movie: {Title: \t, Year: \y}} in db,"
+            r" \y > 1900, \y < 1950",
+            db=db,
+        )
+        assert {e.label.value for e in out.edges_from(out.root)} == {"Casablanca"}
+
+    def test_real_vs_int_comparison(self, db):
+        out = unql(
+            r"select \t where {Movie: {Title: \t, Rating: \r}} in db, \r > 8.4",
+            db=db,
+        )
+        assert {e.label.value for e in out.edges_from(out.root)} == {"Casablanca"}
+
+    def test_mixed_type_equality_fails_quietly(self, db):
+        out = unql(
+            r'select \t where {Movie: {Title: \t, Year: \y}} in db, \y = "x"',
+            db=db,
+        )
+        assert bisimilar(out, Graph.empty())
+
+    def test_mixed_type_inequality_succeeds(self, db):
+        out = unql(
+            r'select \t where {Movie: {Title: \t, Year: \y}} in db, \y != "x"',
+            db=db,
+        )
+        assert out.out_degree(out.root) == 2
+
+    def test_like_on_non_string_is_false(self, db):
+        out = unql(
+            r'select \t where {Movie: {Title: \t, Year: \y}} in db, \y like "19%"',
+            db=db,
+        )
+        assert bisimilar(out, Graph.empty())
+
+    def test_isleaf_on_tree_variable(self):
+        g = from_obj({"a": None, "b": {"c": 1}})
+        out = unql(
+            r"select {leafy: \L} where {\L: \t} in db, isleaf(\t)", db=g
+        )
+        labels = {
+            e.label.value
+            for node in out.successors(out.root)
+            for e in out.edges_from(node)
+        }
+        assert labels == {"a"}
+
+    def test_isleaf_on_label_var_is_false(self):
+        g = from_obj({"a": None})
+        out = unql(r"select 1 where {\L: \t} in db, isleaf(\L)", db=g)
+        assert bisimilar(out, Graph.empty())
+
+    def test_comparison_on_complex_tree_fails(self, db):
+        # \m binds whole movie objects: no scalar coercion exists
+        out = unql(r'select \m where {Movie: \m} in db, \m = "x"', db=db)
+        assert bisimilar(out, Graph.empty())
+
+
+class TestConstructs:
+    def test_label_var_as_construct_value(self):
+        g = from_obj({"a": 1, "b": 2})
+        out = unql(r"select {seen: \L} where {\L: \t} in db", db=g)
+        # label values spliced as scalars below `seen`
+        values = {
+            e.label.value
+            for node in out.successors(out.root)
+            for e in out.edges_from(node)
+        }
+        assert values == {"a", "b"}
+
+    def test_tree_var_scalar_as_label(self, db):
+        out = unql(r"select {\y: \t} where {Movie: {Title: \t, Year: \y}} in db", db=db)
+        labels = {e.label.value for e in out.edges_from(out.root)}
+        assert labels == {1942, 1958}
+
+    def test_tree_var_complex_as_label_raises(self, db):
+        with pytest.raises(UnqlRuntimeError):
+            unql(r"select {\m: 1} where {Movie: \m} in db", db=db)
+
+    def test_empty_construct_tree(self, db):
+        out = unql(r"select {} where {Movie.Title: \t} in db", db=db)
+        assert bisimilar(out, Graph.empty())
+
+    def test_nested_construct(self, db):
+        out = unql(
+            r"select {wrap: {inner: {deep: \t}}} where {Movie.Title: \t} in db",
+            db=db,
+        )
+        decoded = to_obj(out)
+        assert "wrap" in decoded
+
+    def test_duplicate_answers_collapse_under_bisimulation(self):
+        g = from_obj({"x": [{"v": 1}, {"v": 1}]})  # two identical subtrees
+        out = unql(r"select {found: 1} where {x.v: \t} in db", db=g)
+        # two bindings, but the *value* is one edge set with equal members
+        assert bisimilar(out, from_obj({"found": 1}))
+
+
+class TestErrors:
+    def test_unbound_var_in_construct(self, db):
+        with pytest.raises(UnqlRuntimeError):
+            unql(r"select \ghost where {Movie.Title: \t} in db", db=db)
+
+    def test_unbound_var_in_condition(self, db):
+        with pytest.raises(UnqlRuntimeError):
+            unql(r"select \t where {Movie.Title: \t} in db, \ghost = 1", db=db)
+
+    def test_rebind_through_label_var_rejected(self):
+        g = from_obj({"a": {"b": 1}})
+        with pytest.raises(UnqlRuntimeError):
+            unql(r"select \t where {\L: \x} in db, {b: \t} in \L", db=g)
+
+
+class TestRepeatedVariables:
+    def test_repeated_tree_var_requires_same_node(self):
+        g = Graph()
+        r, shared, other = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "x", shared)
+        g.add_edge(r, "y", shared)
+        g.add_edge(r, "y", other)
+        out = unql(r"select {both: 1} where {x: \t, y: \t} in db", db=g)
+        # exactly one env: the shared node
+        assert out.out_degree(out.root) == 1
+
+    def test_repeated_label_var_requires_same_label(self):
+        g = from_obj({"a": {"a": 1}, "b": {"c": 2}})
+        out = unql(r"select {\L: 1} where {\L: {\L: \v}} in db", db=g)
+        labels = {e.label.value for e in out.edges_from(out.root)}
+        assert labels == {"a"}  # only a.a repeats the label

@@ -1,0 +1,252 @@
+r"""Tests for the UnQL surface language: parser + evaluator + optimizer."""
+
+import pytest
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj, to_obj
+from repro.core.graph import Graph
+from repro.core.labels import string, sym
+from repro.index import GraphIndexes
+from repro.unql import UnqlRuntimeError, UnqlSyntaxError, parse_query, unql
+from repro.unql.optimizer import fixed_path_of, query_is_prunable
+
+
+@pytest.fixture()
+def db() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {
+                    "Movie": {
+                        "Title": "Casablanca",
+                        "Cast": ["Bogart", "Bacall"],
+                        "Director": "Curtiz",
+                        "Year": 1942,
+                    }
+                },
+                {
+                    "Movie": {
+                        "Title": "Play it again, Sam",
+                        "Cast": {"Credit": {"Actors": "Allen"}},
+                        "Director": "Ross",
+                        "Year": 1972,
+                    }
+                },
+                {
+                    "TV Show": {
+                        "Title": "Annie Hall Special",
+                        "actors": "Allen",
+                    }
+                },
+            ]
+        }
+    )
+
+
+def leaf_values(g: Graph) -> set:
+    return {e.label.value for e in g.edges_from(g.root) if e.label.is_base}
+
+
+class TestParser:
+    def test_minimal_select(self):
+        q = parse_query("select 1")
+        assert q.bindings == ()
+
+    def test_binding_and_condition(self):
+        q = parse_query(r'select \t where {Movie.Title: \t} in db, \t = "x"')
+        assert len(q.bindings) == 1
+        assert len(q.conditions) == 1
+
+    def test_conditions_without_bindings_rejected(self):
+        with pytest.raises(UnqlSyntaxError):
+            parse_query(r'select 1 where \x = 1')
+
+    def test_nested_patterns(self):
+        q = parse_query(r"select \t where {Entry: {Movie: {Title: \t}}} in db")
+        assert len(q.bindings) == 1
+
+    def test_label_variable_edge(self):
+        q = parse_query(r"select \L where {\L: \t} in db")
+        assert q.bindings[0].pattern.members[0].edge.var == "L"
+
+    def test_bad_syntax(self):
+        for bad in [
+            "where",
+            "select",
+            r"select \t where {a: \t}",          # missing 'in'
+            r"select \t where {a \t} in db",     # missing ':'
+            r"select \t where {a: \t} in db,",   # trailing comma
+        ]:
+            with pytest.raises(UnqlSyntaxError):
+                parse_query(bad)
+
+    def test_construct_union(self):
+        q = parse_query("select {a: 1} union {b: 2}")
+        from repro.unql.ast import ConstructUnion
+
+        assert isinstance(q.construct, ConstructUnion)
+
+    def test_path_regex_edges(self):
+        q = parse_query(r"select \t where {Entry.Movie.(Cast|Director): \t} in db")
+        member = q.bindings[0].pattern.members[0]
+        assert "Cast|Director" in member.edge.text
+
+
+class TestEvaluation:
+    def test_select_constant(self):
+        out = unql("select {greeting: \"hi\"}")
+        assert to_obj(out) == {"greeting": "hi"}
+
+    def test_select_titles(self, db):
+        out = unql(r"select \t where {Entry.Movie.Title: \t} in db", db=db)
+        assert leaf_values(out) == {"Casablanca", "Play it again, Sam"}
+
+    def test_select_with_construct(self, db):
+        out = unql(
+            r"select {Result: {Name: \t}} where {Entry.Movie.Title: \t} in db",
+            db=db,
+        )
+        results = [e for e in out.edges_from(out.root) if e.label == sym("Result")]
+        assert len(results) == 2
+
+    def test_nested_pattern(self, db):
+        out = unql(
+            r"select \t where {Entry: {Movie: {Title: \t, Year: 1942}}} in db",
+            db=db,
+        )
+        assert leaf_values(out) == {"Casablanca"}
+
+    def test_literal_target_filters(self, db):
+        out = unql(
+            r'select \t where {Entry.Movie: {Title: \t, Director: "Curtiz"}} in db',
+            db=db,
+        )
+        assert leaf_values(out) == {"Casablanca"}
+
+    def test_arbitrary_depth_search(self, db):
+        # find Allen wherever it occurs (both deep Cast and TV actors)
+        out = unql(r'select {found: \t} where {#: {_: \t}} in db, \t = "Allen"', db=db)
+        found = [e for e in out.edges_from(out.root) if e.label == sym("found")]
+        assert len(found) >= 1
+
+    def test_label_variable_binding(self, db):
+        out = unql(
+            r'select {\L: \t} where {Entry: {\L: {Title: \t}}} in db', db=db
+        )
+        labels = {str(e.label.value) for e in out.edges_from(out.root)}
+        assert labels == {"Movie", "TV Show"}
+
+    def test_label_variable_with_like(self, db):
+        out = unql(
+            r'select \t where {Entry._: {\L: \t}} in db, \L like "act%"',
+            db=db,
+        )
+        assert leaf_values(out) == {"Allen"}
+
+    def test_comparison_on_tree_value(self, db):
+        out = unql(
+            r"select \t where {Entry.Movie: {Title: \t, Year: \y}} in db, \y > 1950",
+            db=db,
+        )
+        assert leaf_values(out) == {"Play it again, Sam"}
+
+    def test_type_check_condition(self, db):
+        out = unql(
+            r"select \v where {Entry.Movie._: \v} in db, isint(\v)",
+            db=db,
+        )
+        assert leaf_values(out) == {1942, 1972}
+
+    def test_empty_result(self, db):
+        out = unql(r'select \t where {Entry.Movie.Nothing: \t} in db', db=db)
+        assert bisimilar(out, Graph.empty())
+
+    def test_union_of_sources(self, db):
+        other = from_obj({"Movie": {"Title": "Vertigo"}})
+        out = unql(
+            r"select \t union \u"
+            r" where {Entry.Movie.Title: \t} in db, {Movie.Title: \u} in extra",
+            db=db,
+            extra=other,
+        )
+        assert "Vertigo" in leaf_values(out)
+
+    def test_rebind_through_tree_var(self, db):
+        out = unql(
+            r"select \t where {Entry.Movie: \m} in db, {Title: \t} in \m",
+            db=db,
+        )
+        assert leaf_values(out) == {"Casablanca", "Play it again, Sam"}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(UnqlRuntimeError):
+            unql(r"select \t where {a: \t} in nowhere")
+
+    def test_negated_path_from_paper(self):
+        # Allen under Movie without crossing another Movie edge.
+        g = from_obj(
+            {
+                "Movie": {
+                    "Cast": "Allen",
+                    "Sequel": {"Movie": {"Cast": "Orson"}},
+                }
+            }
+        )
+        out = unql(r'select {found: 1} where {Movie.(!Movie)*: {_: "Allen"}} in db', db=g)
+        assert not bisimilar(out, Graph.empty())
+        out2 = unql(r'select {found: 1} where {Movie.(!Movie)*: {_: "Orson"}} in db', db=g)
+        assert bisimilar(out2, Graph.empty())
+
+    def test_cyclic_database(self):
+        g = Graph()
+        a, b, leaf = g.new_node(), g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "References", b)
+        g.add_edge(b, "Back", a)
+        g.add_edge(b, string("data"), leaf)
+        out = unql(r"select \t where {(References|Back)*: \t} in db", db=g)
+        assert out.has_root  # terminates and returns
+
+    def test_backquoted_symbol_with_space(self, db):
+        out = unql(r"select \t where {Entry.`TV Show`.Title: \t} in db", db=db)
+        assert leaf_values(out) == {"Annie Hall Special"}
+
+
+class TestOptimizer:
+    def test_fixed_path_of(self):
+        from repro.automata.regex import parse_path_regex
+
+        assert fixed_path_of(parse_path_regex("Entry.Movie.Title")) == (
+            sym("Entry"),
+            sym("Movie"),
+            sym("Title"),
+        )
+        assert fixed_path_of(parse_path_regex("Entry.#")) is None
+        assert fixed_path_of(parse_path_regex("a*")) is None
+
+    def test_prunable_query_detected(self, db):
+        idx = GraphIndexes(db)
+        q = parse_query(r"select \t where {Entry.Nonexistent.Title: \t} in db")
+        assert query_is_prunable(q, idx)
+        q2 = parse_query(r"select \t where {Entry.Movie.Title: \t} in db")
+        assert not query_is_prunable(q2, idx)
+
+    def test_optimized_results_identical(self, db):
+        idx = GraphIndexes(db)
+        queries = [
+            r"select \t where {Entry.Movie.Title: \t} in db",
+            r"select \t where {Entry.Movie: {Title: \t, Year: \y}} in db, \y > 1950",
+            r"select \t where {Entry.Movie.Nothing: \t} in db",
+            r'select {\L: \t} where {Entry: {\L: {Title: \t}}} in db',
+        ]
+        for q in queries:
+            plain = unql(q, db=db)
+            optimized = unql(q, indexes=idx, db=db)
+            assert bisimilar(plain, optimized), q
+
+    def test_pruned_query_returns_empty(self, db):
+        idx = GraphIndexes(db)
+        out = unql(
+            r"select \t where {Entry.Ghost: \t} in db", indexes=idx, db=db
+        )
+        assert bisimilar(out, Graph.empty())

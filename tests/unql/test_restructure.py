@@ -1,0 +1,186 @@
+"""Tests for the deep restructuring operations of section 3."""
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj, to_obj
+from repro.core.graph import Graph
+from repro.core.labels import string, sym
+from repro.unql.restructure import (
+    collapse_edges,
+    drop_edges,
+    fix_bacall,
+    insert_below,
+    keep_only,
+    relabel,
+    relabel_where,
+    short_circuit,
+)
+
+
+def figure1_fragment() -> Graph:
+    """The Casablanca entry of Figure 1, with its egregious error."""
+    return from_obj(
+        {
+            "Entry": {
+                "Movie": {
+                    "Title": "Casablanca",
+                    "Cast": ["Bogart", "Bacall"],
+                    "Director": "Curtiz",
+                }
+            }
+        }
+    )
+
+
+class TestRelabel:
+    def test_uppercase_symbols(self):
+        g = from_obj({"a": {"b": 1}})
+        out = relabel(
+            g, lambda lab: sym(str(lab.value).upper()) if lab.is_symbol else lab
+        )
+        assert bisimilar(out, from_obj({"A": {"B": 1}}))
+
+    def test_relabel_where_condition_on_subtree(self):
+        g = from_obj(
+            {"item": {"price": 10}, "itemX": {"cost": 10}}
+        )
+        out = relabel_where(
+            g,
+            lambda lab, view: lab.is_symbol and view.has_edge(sym("price")),
+            sym("priced_item"),
+        )
+        top = {str(e.label.value) for e in out.edges_from(out.root)}
+        assert top == {"priced_item", "itemX"}
+
+    def test_relabel_on_cycle(self):
+        g = Graph()
+        n = g.new_node()
+        g.set_root(n)
+        g.add_edge(n, "old", n)
+        out = relabel(g, lambda lab: sym("new"))
+        assert out.has_cycle()
+        assert {e.label for e in out.edges_from(out.root)} == {sym("new")}
+
+
+class TestCollapseAndDrop:
+    def test_collapse_promotes_children(self):
+        g = from_obj({"wrapper": {"x": 1, "y": 2}})
+        out = collapse_edges(g, lambda lab, view: lab == sym("wrapper"))
+        assert to_obj(out) == {"x": 1, "y": 2}
+
+    def test_drop_removes_subtree(self):
+        g = from_obj({"keep": 1, "junk": {"deep": {"deeper": 2}}})
+        out = drop_edges(g, lambda lab, view: lab == sym("junk"))
+        assert to_obj(out) == {"keep": 1}
+
+    def test_keep_only_is_dual(self):
+        g = from_obj({"keep": 1, "junk": 2})
+        kept = keep_only(g, lambda lab, view: lab != sym("junk"))
+        dropped = drop_edges(g, lambda lab, view: lab == sym("junk"))
+        assert bisimilar(kept, dropped)
+
+    def test_drop_with_subtree_condition(self):
+        # delete movies that have no Title
+        g = from_obj(
+            {
+                "Movie": {"Title": "Casablanca"},
+                "Draft": {"Notes": "untitled"},
+            }
+        )
+        out = drop_edges(
+            g,
+            lambda lab, view: lab.is_symbol
+            and str(lab.value) in ("Movie", "Draft")
+            and not view.has_edge(sym("Title")),
+        )
+        top = {str(e.label.value) for e in out.edges_from(out.root)}
+        assert top == {"Movie"}
+
+    def test_collapse_everything_empties(self):
+        g = from_obj({"a": {"b": {"c": None}}})
+        out = collapse_edges(g, lambda lab, view: True)
+        assert bisimilar(out, Graph.empty())
+
+
+class TestShortCircuit:
+    def test_adds_skipping_edge(self):
+        g = from_obj({"Part": {"Subpart": {"name": "bolt"}}})
+        out = short_circuit(g, sym("Part"), sym("Subpart"))
+        # root now reaches the subpart node directly via Part
+        part_targets = [e.dst for e in out.edges_from(out.root) if e.label == sym("Part")]
+        assert len(part_targets) == 2
+
+    def test_no_duplicate_edges(self):
+        g = from_obj({"a": {"b": None}})
+        once = short_circuit(g, sym("a"), sym("b"))
+        twice = short_circuit(once, sym("a"), sym("b"))
+        assert once.num_edges == twice.num_edges
+
+    def test_original_paths_kept(self):
+        g = from_obj({"a": {"b": {"v": 1}}})
+        out = short_circuit(g, sym("a"), sym("b"))
+        from repro.automata.product import rpq_nodes
+
+        assert rpq_nodes(out, "a.b.v")  # old path still there
+        assert rpq_nodes(out, "a.v")  # new shortcut
+
+    def test_on_cycle(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "f", b)
+        g.add_edge(b, "s", a)
+        out = short_circuit(g, sym("f"), sym("s"))
+        # a --f--> a shortcut created
+        assert any(
+            e.label == sym("f") and e.dst == e.src for e in out.edges()
+        )
+
+
+class TestInsertBelow:
+    def test_payload_attached(self):
+        g = from_obj({"Movie": {"Title": "Casablanca"}})
+        payload = from_obj("checked")
+        out = insert_below(g, sym("Movie"), sym("Status"), payload)
+        decoded = to_obj(out)
+        assert decoded["Movie"]["Status"] == "checked"
+        assert decoded["Movie"]["Title"] == "Casablanca"
+
+    def test_applies_at_depth(self):
+        g = from_obj({"List": {"Movie": {"T": 1}, "Other": {"Movie": {"T": 2}}}})
+        out = insert_below(g, sym("Movie"), sym("Mark"), from_obj(True))
+        decoded = to_obj(out)
+        assert decoded["List"]["Movie"]["Mark"] is True
+        assert decoded["List"]["Other"]["Movie"]["Mark"] is True
+
+
+class TestFixBacall:
+    def test_corrects_only_within_cast(self):
+        g = from_obj(
+            {
+                "Movie": {
+                    "Cast": ["Bogart", "Bacall"],
+                    "Elsewhere": "Bacall",
+                }
+            }
+        )
+        out = fix_bacall(g, string("Bacall"), string("Bergman"), sym("Cast"))
+        decoded = to_obj(out)
+        assert sorted(decoded["Movie"]["Cast"]) == ["Bergman", "Bogart"]
+        assert decoded["Movie"]["Elsewhere"] == "Bacall"
+
+    def test_figure1_fix(self):
+        g = figure1_fragment()
+        out = fix_bacall(g, string("Bacall"), string("Bergman"), sym("Cast"))
+        from repro.browse import find_value
+
+        assert find_value(out, "Bacall") == []
+        assert len(find_value(out, "Bergman")) == 1
+        # everything else untouched
+        assert len(find_value(out, "Bogart")) == 1
+        assert len(find_value(out, "Curtiz")) == 1
+
+    def test_idempotent(self):
+        g = figure1_fragment()
+        once = fix_bacall(g, string("Bacall"), string("Bergman"), sym("Cast"))
+        twice = fix_bacall(once, string("Bacall"), string("Bergman"), sym("Cast"))
+        assert bisimilar(once, twice)

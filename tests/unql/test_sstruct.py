@@ -1,0 +1,243 @@
+"""Tests for structural recursion: bulk semantics, cycles, reference laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.core.labels import Label, string, sym
+from repro.unql.sstruct import SubtreeView, keep_edge, rec, srec, srec_tree
+
+
+def identity_body(label, _view):
+    return keep_edge(label)
+
+
+def upper_body(label, _view):
+    if label.is_symbol:
+        return keep_edge(sym(str(label.value).upper()))
+    return keep_edge(label)
+
+
+class TestSrecBasics:
+    def test_identity_on_tree(self):
+        g = from_obj({"Movie": {"Title": "Casablanca"}})
+        assert bisimilar(srec(g, identity_body), g)
+
+    def test_relabel_on_tree(self):
+        g = from_obj({"a": {"b": None}})
+        out = srec(g, upper_body)
+        assert bisimilar(out, from_obj({"A": {"B": None}}))
+
+    def test_empty_graph(self):
+        out = srec(Graph.empty(), identity_body)
+        assert out.out_degree(out.root) == 0
+
+    def test_drop_all(self):
+        g = from_obj({"a": {"b": None}, "c": None})
+        out = srec(g, lambda label, view: Graph.empty())
+        assert bisimilar(out, Graph.empty())
+
+    def test_collapse_splices_children(self):
+        g = from_obj({"wrap": {"x": None, "y": None}})
+        out = srec(
+            g,
+            lambda label, view: rec() if label == sym("wrap") else keep_edge(label),
+        )
+        assert bisimilar(out, from_obj({"x": None, "y": None}))
+
+    def test_duplicate_each_edge(self):
+        g = from_obj({"a": None})
+        out = srec(
+            g, lambda label, view: keep_edge(label).union(keep_edge(sym("copy")))
+        )
+        labels = {e.label for e in out.edges_from(out.root)}
+        assert labels == {sym("a"), sym("copy")}
+
+    def test_constant_embedding(self):
+        payload = from_obj({"note": "hi"})
+        g = from_obj({"a": {"b": None}})
+        out = srec(
+            g,
+            lambda label, view: Graph.singleton(label, payload.copy())
+            if label == sym("b")
+            else keep_edge(label),
+        )
+        # b's subtree replaced by the payload
+        assert bisimilar(
+            out, from_obj({"a": {"b": {"note": "hi"}}})
+        )
+
+
+class TestSrecOnCycles:
+    def test_identity_on_self_loop(self):
+        g = Graph()
+        n = g.new_node()
+        g.set_root(n)
+        g.add_edge(n, "a", n)
+        out = srec(g, identity_body)
+        assert out.has_cycle()
+        assert bisimilar(out, g)
+
+    def test_relabel_on_cycle(self):
+        g = Graph()
+        a, b = g.new_node(), g.new_node()
+        g.set_root(a)
+        g.add_edge(a, "x", b)
+        g.add_edge(b, "y", a)
+        out = srec(g, upper_body)
+        expected = Graph()
+        a2, b2 = expected.new_node(), expected.new_node()
+        expected.set_root(a2)
+        expected.add_edge(a2, "X", b2)
+        expected.add_edge(b2, "Y", a2)
+        assert bisimilar(out, expected)
+
+    def test_collapse_on_cycle_terminates(self):
+        # collapsing every edge of a cycle gives the empty tree (nothing
+        # observable remains -- only an epsilon cycle).
+        g = Graph()
+        n = g.new_node()
+        g.set_root(n)
+        g.add_edge(n, "loop", n)
+        out = srec(g, lambda label, view: rec())
+        assert bisimilar(out, Graph.empty())
+
+    def test_mixed_cycle_collapse(self):
+        # keep `a`, collapse `skip`: root -skip-> m -a-> root  ==> root -a-> root
+        g = Graph()
+        r, m = g.new_node(), g.new_node()
+        g.set_root(r)
+        g.add_edge(r, "skip", m)
+        g.add_edge(m, "a", r)
+        out = srec(
+            g,
+            lambda label, view: rec() if label == sym("skip") else keep_edge(label),
+        )
+        loop = Graph()
+        n = loop.new_node()
+        loop.set_root(n)
+        loop.add_edge(n, "a", n)
+        assert bisimilar(out, loop)
+
+    def test_linear_cost_on_cycles(self):
+        # every input edge instantiates exactly one template: output size
+        # is O(edges), not O(paths).
+        g = Graph()
+        nodes = [g.new_node() for _ in range(50)]
+        g.set_root(nodes[0])
+        for i in range(50):
+            g.add_edge(nodes[i], "n", nodes[(i + 1) % 50])
+            g.add_edge(nodes[i], "m", nodes[(i * 7 + 3) % 50])
+        out = srec(g, identity_body)
+        # one template per input edge, each contributing O(1) output edges
+        # (identity templates duplicate each edge once through the
+        # epsilon-closure), so the output stays linear in the input.
+        assert out.num_edges <= 3 * g.num_edges
+
+
+class TestHorizontalConditions:
+    def test_view_has_edge(self):
+        g = from_obj(
+            {"Movie": {"Title": "Casablanca"}, "Draft": {"NoTitle": 1}}
+        )
+
+        def body(label, view: SubtreeView):
+            if label.is_symbol and view.has_edge(sym("Title")):
+                return keep_edge(label)
+            if label.is_base:
+                return keep_edge(label)
+            return Graph.empty()
+
+        out = srec(g, body)
+        top = {e.label for e in out.edges_from(out.root)}
+        assert top == {sym("Movie")}
+
+    def test_view_exists_within(self):
+        g = from_obj({"deep": {"x": {"y": {"needle": 1}}}})
+        view = SubtreeView(g, g.root)
+        assert view.exists_within(lambda lab: lab == sym("needle"), depth=4)
+        assert not view.exists_within(lambda lab: lab == sym("needle"), depth=2)
+
+    def test_view_child_and_leaf(self):
+        g = from_obj({"a": {"b": None}})
+        view = SubtreeView(g, g.root)
+        child = view.child(sym("a"))
+        assert child is not None
+        assert child.child(sym("b")).is_leaf()
+        assert view.child(sym("zzz")) is None
+
+    def test_view_to_graph_is_copy(self):
+        g = from_obj({"a": {"b": None}})
+        sub = SubtreeView(g, g.root).child(sym("a")).to_graph()
+        assert bisimilar(sub, from_obj({"b": None}))
+
+
+class TestAgainstReferenceSemantics:
+    def test_tree_reference_agrees_simple(self):
+        g = from_obj({"a": {"b": None, "c": 3}, "d": None})
+        assert bisimilar(srec(g, identity_body), srec_tree(g, identity_body))
+        assert bisimilar(srec(g, upper_body), srec_tree(g, upper_body))
+
+
+# -- property tests ----------------------------------------------------------
+
+
+@st.composite
+def tree_objs(draw, depth: int = 3):
+    if depth == 0:
+        return None
+    keys = draw(st.lists(st.sampled_from("abc"), max_size=3, unique=True))
+    return {k: draw(tree_objs(depth=depth - 1)) for k in keys} or None
+
+
+def bodies():
+    return st.sampled_from(
+        [
+            identity_body,
+            upper_body,
+            lambda label, view: rec() if label == sym("a") else keep_edge(label),
+            lambda label, view: Graph.empty() if label == sym("b") else keep_edge(label),
+            lambda label, view: keep_edge(label).union(keep_edge(sym("z"))),
+            lambda label, view: Graph.singleton(sym("w"), rec()),
+        ]
+    )
+
+
+@given(tree_objs(), bodies())
+@settings(max_examples=80, deadline=None)
+def test_prop_bulk_agrees_with_reference_on_trees(obj, body):
+    g = from_obj(obj)
+    assert bisimilar(srec(g, body), srec_tree(g, body))
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 5))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(0, 8))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from("ab")),
+            draw(st.sampled_from(nodes)),
+        )
+    return g
+
+
+@given(random_graphs(), random_graphs(), bodies())
+@settings(max_examples=60, deadline=None)
+def test_prop_srec_respects_bisimulation(g1, g2, body):
+    """The well-definedness restriction: bisimilar inputs give bisimilar
+    outputs (this is what makes the recursion a function on tree values)."""
+    if bisimilar(g1, g2):
+        assert bisimilar(srec(g1, body), srec(g2, body))
+
+
+@given(random_graphs(), bodies())
+@settings(max_examples=60, deadline=None)
+def test_prop_srec_total_on_cycles(g, body):
+    out = srec(g, body)  # must terminate
+    assert out.has_root

@@ -1,0 +1,96 @@
+"""Tests for the traverse restructuring syntax."""
+
+import pytest
+
+from repro.browse import find_value
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj, to_obj
+from repro.datasets import figure1
+from repro.unql.traverse import TraverseSyntaxError, traverse
+
+
+@pytest.fixture()
+def db():
+    return from_obj(
+        {"Movie": {"Title": "Casablanca", "Cast": ["Bogart", "Bacall"]}}
+    )
+
+
+class TestReplace:
+    def test_global_relabel(self, db):
+        out = traverse("traverse db replace Movie => Film", db=db)
+        assert "Film" in to_obj(out)
+
+    def test_string_labels(self, db):
+        out = traverse('traverse db replace "Bogart" => "Bergman"', db=db)
+        assert find_value(out, "Bogart") == []
+        assert find_value(out, "Bergman")
+
+    def test_scoped_replace_under(self):
+        g = figure1()
+        out = traverse(
+            'traverse db replace "Bacall" => "Bergman" under Cast', db=g
+        )
+        assert find_value(out, "Bacall") == []
+        assert len(find_value(out, "Bergman")) == 1
+
+    def test_numeric_labels(self):
+        g = from_obj([10, 20])  # integer-labeled array edges 1 and 2
+        out = traverse("traverse db replace 1 => 99", db=g)
+        labels = sorted(e.label.value for e in out.edges_from(out.root))
+        assert labels == [2, 99]
+
+    def test_source_untouched(self, db):
+        before = db.copy()
+        traverse("traverse db replace Movie => Film", db=db)
+        assert bisimilar(db, before)
+
+
+class TestDeleteCollapse:
+    def test_delete_drops_subtree(self, db):
+        out = traverse("traverse db delete Cast", db=db)
+        assert to_obj(out) == {"Movie": {"Title": "Casablanca"}}
+
+    def test_collapse_keeps_children(self):
+        g = from_obj({"wrap": {"x": 1, "y": 2}})
+        out = traverse("traverse db collapse wrap", db=g)
+        assert to_obj(out) == {"x": 1, "y": 2}
+
+    def test_backquoted_symbols(self):
+        g = from_obj({"TV Show": {"Title": "Special"}})
+        out = traverse("traverse db delete `TV Show`", db=g)
+        assert to_obj(out) is None
+
+
+class TestShortcut:
+    def test_shortcut_adds_edges(self):
+        g = from_obj({"Part": {"Sub": {"v": 1}}})
+        out = traverse("traverse db shortcut Part over Sub", db=g)
+        from repro.automata.product import rpq_nodes
+
+        assert rpq_nodes(out, "Part.v")
+        assert rpq_nodes(out, "Part.Sub.v")  # original kept
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "traverse",
+            "traverse db",
+            "traverse db explode x",
+            "traverse db replace a",
+            "traverse db replace a => ",
+            "traverse db replace a => b extra junk",
+            "traverse db shortcut a",
+            'traverse db replace "unterminated => b',
+        ],
+    )
+    def test_syntax_errors(self, bad, db):
+        with pytest.raises(TraverseSyntaxError):
+            traverse(bad, db=db)
+
+    def test_unknown_source(self, db):
+        with pytest.raises(TraverseSyntaxError):
+            traverse("traverse nowhere delete x", db=db)

@@ -1,0 +1,114 @@
+r"""Tests for semistructured views (section 3, [4])."""
+
+import pytest
+
+from repro.core.bisim import bisimilar
+from repro.core.builder import from_obj
+from repro.core.graph import Graph
+from repro.unql.views import View, ViewCatalog, ViewError
+
+
+def movies() -> Graph:
+    return from_obj(
+        {
+            "Entry": [
+                {"Movie": {"Title": "Casablanca", "Year": 1942}},
+                {"Movie": {"Title": "Annie Hall", "Year": 1977}},
+            ]
+        }
+    )
+
+
+TITLES_VIEW = r"select {Title: \t} where {Entry.Movie.Title: \t} in db"
+
+
+class TestView:
+    def test_materialize(self):
+        view = View("titles", TITLES_VIEW)
+        result = view.materialize({"db": movies()})
+        assert result.out_degree(result.root) == 2
+
+    def test_unmaterialized_access_raises(self):
+        with pytest.raises(ViewError):
+            _ = View("v", TITLES_VIEW).graph
+
+    def test_is_stale_detects_source_change(self):
+        view = View("titles", TITLES_VIEW)
+        db = movies()
+        view.materialize({"db": db})
+        assert not view.is_stale({"db": db})
+        grown = db.union(from_obj({"Entry": {"Movie": {"Title": "Vertigo"}}}))
+        assert view.is_stale({"db": grown})
+
+    def test_refresh_reports_change(self):
+        view = View("titles", TITLES_VIEW)
+        db = movies()
+        assert view.refresh({"db": db})  # first materialization counts
+        assert not view.refresh({"db": db})  # unchanged source
+        grown = db.union(from_obj({"Entry": {"Movie": {"Title": "Vertigo"}}}))
+        assert view.refresh({"db": grown})
+
+    def test_irrelevant_change_leaves_view_fresh(self):
+        # adding data the view's pattern never touches does not change it
+        view = View("titles", TITLES_VIEW)
+        db = movies()
+        view.materialize({"db": db})
+        grown = db.union(from_obj({"Junk": {"ignored": 1}}))
+        assert not view.is_stale({"db": grown})
+
+
+class TestViewCatalog:
+    def test_stacked_views(self):
+        catalog = ViewCatalog(db=movies())
+        catalog.define("titles", TITLES_VIEW)
+        catalog.define(
+            "wrapped", r"select {Name: \t} where {Title: \t} in titles"
+        )
+        catalog.materialize_all()
+        wrapped = catalog["wrapped"].graph
+        assert wrapped.out_degree(wrapped.root) == 2
+
+    def test_query_through_views(self):
+        catalog = ViewCatalog(db=movies())
+        catalog.define("titles", TITLES_VIEW)
+        catalog.materialize_all()
+        out = catalog.query(r"select \t where {Title: \t} in titles")
+        values = {e.label.value for e in out.edges_from(out.root)}
+        assert values == {"Casablanca", "Annie Hall"}
+
+    def test_update_base_propagates(self):
+        catalog = ViewCatalog(db=movies())
+        catalog.define("titles", TITLES_VIEW)
+        catalog.define("wrapped", r"select {Name: \t} where {Title: \t} in titles")
+        catalog.materialize_all()
+        grown = movies().union(from_obj({"Entry": {"Movie": {"Title": "Vertigo"}}}))
+        changed = catalog.update_base("db", grown)
+        assert changed == ["titles", "wrapped"]
+
+    def test_name_collisions_rejected(self):
+        catalog = ViewCatalog(db=movies())
+        catalog.define("titles", TITLES_VIEW)
+        with pytest.raises(ViewError):
+            catalog.define("titles", TITLES_VIEW)
+        with pytest.raises(ViewError):
+            catalog.define("db", TITLES_VIEW)
+
+    def test_unknown_base_update_rejected(self):
+        with pytest.raises(ViewError):
+            ViewCatalog(db=movies()).update_base("nope", movies())
+
+    def test_unknown_view_lookup(self):
+        with pytest.raises(ViewError):
+            ViewCatalog(db=movies())["ghost"]
+
+    def test_view_restructures(self):
+        # the [4] use case: a view that reshapes, not just filters
+        catalog = ViewCatalog(db=movies())
+        catalog.define(
+            "index",
+            r"select {ByYear: {\y: {Title: \t}}} "
+            r"where {Entry.Movie: {Title: \t, Year: \y}} in db",
+        )
+        catalog.materialize_all()
+        out = catalog.query(r"select \t where {ByYear.1942.Title: \t} in index")
+        assert not bisimilar(out, Graph.empty())
