@@ -17,7 +17,7 @@ from _tables import print_table, timed
 from repro.automata.product import rpq_nodes
 from repro.datasets import generate_movies
 from repro.schema.inference import infer_schema
-from repro.schema.prune import pruned_rpq_nodes, schema_reachable_states
+from repro.schema.prune import pruned_rpq_nodes
 
 QUERIES = [
     ("present: titles", "Entry.Movie.Title.<string>"),

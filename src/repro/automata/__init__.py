@@ -9,7 +9,13 @@
 
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
-from .product import compile_rpq, naive_rpq, rpq_nodes, rpq_witnesses
+from .product import (
+    compile_rpq,
+    naive_rpq,
+    rpq_nodes,
+    rpq_nodes_partial,
+    rpq_witnesses,
+)
 from .regex import (
     AltRE,
     AtomRE,
@@ -53,6 +59,7 @@ __all__ = [
     "LazyDfa",
     "compile_rpq",
     "rpq_nodes",
+    "rpq_nodes_partial",
     "rpq_witnesses",
     "naive_rpq",
 ]

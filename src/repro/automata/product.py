@@ -15,6 +15,7 @@ from collections import deque
 
 from ..core.graph import Edge, Graph
 from ..core.labels import Label
+from ..resilience import PartialResult, completeness_of
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
 from .regex import PathRegex, parse_path_regex
@@ -22,6 +23,7 @@ from .regex import PathRegex, parse_path_regex
 __all__ = [
     "compile_rpq",
     "rpq_nodes",
+    "rpq_nodes_partial",
     "rpq_witnesses",
     "naive_rpq",
 ]
@@ -69,6 +71,24 @@ def rpq_nodes(
                 results.add(edge.dst)
             queue.append(config)
     return results
+
+
+def rpq_nodes_partial(
+    graph: Graph, pattern: "str | PathRegex | Nfa | LazyDfa", start: int | None = None
+) -> "PartialResult[set[int]]":
+    """:func:`rpq_nodes` with the partial-result contract made explicit.
+
+    Over a plain graph this is :func:`rpq_nodes` plus an always-exact
+    report.  Over a degradable graph (an :class:`~repro.storage.external.
+    ExternalGraph` in partial mode), failed regions contribute no edges,
+    the product simply never enters them, and the attached
+    :class:`~repro.resilience.Completeness` report says whether the node
+    set is exact or a lower bound.  RPQ answers are monotone in the
+    visible graph, so a lost region can only hide matches, never forge
+    them.
+    """
+    nodes = rpq_nodes(graph, pattern, start)
+    return PartialResult(nodes, completeness_of(graph))
 
 
 def rpq_witnesses(

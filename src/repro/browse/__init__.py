@@ -3,15 +3,21 @@
 from .search import (
     Finding,
     find_attribute_names,
+    find_attribute_names_partial,
     find_integers_greater_than,
+    find_integers_greater_than_partial,
     find_value,
+    find_value_partial,
     where_is,
 )
 
 __all__ = [
     "Finding",
     "find_value",
+    "find_value_partial",
     "find_integers_greater_than",
+    "find_integers_greater_than_partial",
     "find_attribute_names",
+    "find_attribute_names_partial",
     "where_is",
 ]

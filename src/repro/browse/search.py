@@ -15,6 +15,14 @@ graph -- always available) and an *indexed* implementation driven by
 three return :class:`Finding` records that include a shortest label path
 from the root, because "where is it" is only answered by a path the user
 can follow.
+
+Browsing is a *scan*, so over an :class:`~repro.storage.external.
+ExternalGraph` it materializes every external region it walks into.  When
+the wrapper runs in partial mode, regions whose fetch ultimately failed
+contribute no edges, the scan proceeds over the rest, and the
+``*_partial`` variants attach the graph's :class:`~repro.resilience.
+Completeness` report so callers can tell an exact answer from a lower
+bound.
 """
 
 from __future__ import annotations
@@ -25,12 +33,16 @@ from dataclasses import dataclass
 from ..core.graph import Edge, Graph
 from ..core.labels import Label, string
 from ..index import GraphIndexes
+from ..resilience import PartialResult, completeness_of
 
 __all__ = [
     "Finding",
     "find_value",
+    "find_value_partial",
     "find_integers_greater_than",
+    "find_integers_greater_than_partial",
     "find_attribute_names",
+    "find_attribute_names_partial",
     "where_is",
 ]
 
@@ -142,3 +154,35 @@ def find_attribute_names(
 def where_is(graph: Graph, value: "str | int | float | bool") -> list[str]:
     """Human-oriented wrapper: dotted path strings for :func:`find_value`."""
     return [str(f) for f in find_value(graph, value)]
+
+
+# -- partial-result variants (the resilience contract) -------------------------
+
+
+def find_value_partial(
+    graph: Graph, value: "str | int | float | bool", indexes: GraphIndexes | None = None
+) -> "PartialResult[list[Finding]]":
+    """:func:`find_value` plus the graph's completeness report.
+
+    Over a degradable graph the findings are a sound lower bound: lost
+    regions can only hide hits.
+    """
+    return PartialResult(find_value(graph, value, indexes), completeness_of(graph))
+
+
+def find_integers_greater_than_partial(
+    graph: Graph, bound: int, indexes: GraphIndexes | None = None
+) -> "PartialResult[list[Finding]]":
+    """:func:`find_integers_greater_than` plus the completeness report."""
+    return PartialResult(
+        find_integers_greater_than(graph, bound, indexes), completeness_of(graph)
+    )
+
+
+def find_attribute_names_partial(
+    graph: Graph, pattern: str, indexes: GraphIndexes | None = None
+) -> "PartialResult[list[Finding]]":
+    """:func:`find_attribute_names` plus the completeness report."""
+    return PartialResult(
+        find_attribute_names(graph, pattern, indexes), completeness_of(graph)
+    )

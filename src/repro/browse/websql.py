@@ -23,7 +23,6 @@ from dataclasses import dataclass
 
 from ..automata.product import rpq_nodes
 from ..core.graph import Graph
-from ..core.labels import sym
 from ..index.text_index import tokenize
 
 __all__ = ["websql", "WebSqlError", "WebSqlQuery", "parse_websql"]

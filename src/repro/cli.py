@@ -11,6 +11,8 @@ A small working surface over the library for shell use:
 * ``paths FILE [DEPTH]``          -- DataGuide path vocabulary
 * ``schema FILE``                 -- infer and describe a schema
 * ``stats FILE``                  -- node/edge/label statistics
+* ``chaos FILE PATTERN``          -- distributed evaluation under injected
+  site failures: partial answers + completeness report (docs/RESILIENCE.md)
 
 ``FILE`` is JSON (self-describing nested data, loaded via
 :func:`repro.core.builder.from_obj`) or a binary ``.ssd`` graph written by
@@ -134,6 +136,38 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run a distributed RPQ under injected failures; print the report.
+
+    Exit code 0 for an exact answer, 3 for a partial one -- scripts can
+    tell a degraded run from a clean one.
+    """
+    from .distributed import distributed_rpq_resilient, partition_graph
+    from .resilience import FaultInjector, RetryPolicy
+
+    graph = load_database(args.file)
+    dist = partition_graph(graph, args.sites, strategy=args.strategy)
+    outages = {f"site:{s}" for s in (args.kill_site or [])}
+    injector = FaultInjector(
+        seed=args.seed, fail_rate=args.fail_rate, outages=outages
+    )
+    policy = RetryPolicy(max_attempts=args.retries, base_delay=0.01)
+    results, stats, report = distributed_rpq_resilient(
+        dist,
+        args.pattern,
+        injector=injector,
+        policy=policy,
+        failure_threshold=args.threshold,
+    )
+    print(f"sites: {args.sites} ({args.strategy}), pattern: {args.pattern}")
+    print(
+        f"matched {len(results)} node(s) in {stats.supersteps} superstep(s), "
+        f"{stats.messages} message(s), total work {stats.total_work}"
+    )
+    print(report.describe())
+    return 0 if report.complete else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +222,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="database statistics")
     p.add_argument("file")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "chaos",
+        help="distributed query under injected site failures (resilience demo)",
+    )
+    p.add_argument("file")
+    p.add_argument("pattern", help='path regex, e.g. "Entry.Movie.Title"')
+    p.add_argument("--sites", type=int, default=4)
+    p.add_argument("--strategy", choices=["bfs", "hash"], default="bfs")
+    p.add_argument("--fail-rate", type=float, default=0.0, help="transient failure probability per site contact")
+    p.add_argument("--kill-site", type=int, action="append", help="permanently dead site id (repeatable)")
+    p.add_argument("--seed", type=int, default=0, help="fault schedule seed (reproducible chaos)")
+    p.add_argument("--retries", type=int, default=4, help="max attempts per site contact")
+    p.add_argument("--threshold", type=int, default=3, help="breaker trip threshold (consecutive failures)")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

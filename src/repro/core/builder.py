@@ -24,34 +24,69 @@ Buneman–Davidson–Hillebrand–Suciu, SIGMOD '96):
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 from .graph import Graph
 from .labels import Label, label_of, sym
 
-__all__ = ["from_obj", "to_obj", "tree", "render", "BuildError"]
+__all__ = ["from_obj", "to_obj", "tree", "render", "BuildError", "DepthLimitError"]
 
 
 class BuildError(ValueError):
     """Raised when a Python object cannot be (de)constructed as a graph."""
 
 
+class DepthLimitError(BuildError, RecursionError):
+    """A recursive decode exceeded its documented depth limit.
+
+    Raised instead of a bare :class:`RecursionError` by operations that
+    must walk nesting levels one Python frame at a time (currently
+    :func:`to_obj`, whose output is itself nested to the data's depth).
+    Ingestion (:func:`from_obj`) is iterative and has no depth limit.
+    """
+
+    def __init__(self, operation: str, limit: int) -> None:
+        super().__init__(
+            f"{operation}: data nests deeper than the {limit}-level limit"
+        )
+        self.operation = operation
+        self.limit = limit
+
+
 def from_obj(obj: Any) -> Graph:
     """Encode a JSON-shaped Python object as an edge-labeled graph.
+
+    Iterative over nesting depth: a 50,000-level-deep chain ingests fine
+    (the robustness suite checks), because production data does arrive
+    that deep and :class:`RecursionError` is not an answer.
 
     >>> g = from_obj({"Movie": {"Title": "Casablanca"}})
     >>> sorted(str(e.label) for e in g.edges_from(g.root))
     ['`Movie`']
     """
     g = Graph()
-    g.set_root(_build(g, obj))
+    root = g.new_node()
+    # explicit stack of (node, pending (label, child) pairs) replacing the
+    # natural recursion; edge/node creation order matches the recursive
+    # formulation, so output graphs are identical
+    stack: list[tuple[int, Iterator[tuple[Label, Any]]]] = [(root, _children(obj))]
+    while stack:
+        node, pending = stack[-1]
+        for label, child in pending:
+            dst = g.new_node()
+            g.add_edge(node, label, dst)
+            stack.append((dst, _children(child)))
+            break
+        else:
+            stack.pop()
+    g.set_root(root)
     return g
 
 
-def _build(g: Graph, obj: Any) -> int:
-    node = g.new_node()
+def _children(obj: Any) -> Iterator[tuple[Label, Any]]:
+    """The (label, child object) pairs one object contributes to its node."""
     if obj is None:
-        return node
+        return
     if isinstance(obj, dict):
         for key, value in obj.items():
             if not isinstance(key, (str, int, float, bool)):
@@ -61,18 +96,17 @@ def _build(g: Graph, obj: Any) -> int:
                 # {"Cast": ["Bogart", "Bacall"]} means *several* Cast edges:
                 # the set semantics of the model, not an array.
                 for item in value:
-                    g.add_edge(node, label, _build(g, item))
+                    yield label, item
             else:
-                g.add_edge(node, label, _build(g, value))
-        return node
+                yield label, value
+        return
     if isinstance(obj, (list, tuple)):
         for i, item in enumerate(obj, start=1):
-            g.add_edge(node, label_of(i), _build(g, item))
-        return node
+            yield label_of(i), item
+        return
     if isinstance(obj, (str, int, float, bool)):
-        leaf = g.new_node()
-        g.add_edge(node, label_of(obj), leaf)
-        return node
+        yield label_of(obj), None
+        return
     raise BuildError(f"cannot encode {type(obj).__name__} value {obj!r}")
 
 
@@ -80,7 +114,7 @@ def _build(g: Graph, obj: Any) -> int:
 tree = from_obj
 
 
-def to_obj(graph: Graph, node: int | None = None) -> Any:
+def to_obj(graph: Graph, node: int | None = None, max_depth: int = 1000) -> Any:
     """Decode a tree-shaped graph back into nested Python data.
 
     Inverse of :func:`from_obj` on its image; on other acyclic graphs it
@@ -88,12 +122,40 @@ def to_obj(graph: Graph, node: int | None = None) -> Any:
     lists.  Cyclic data cannot be a finite nested object and raises
     :class:`BuildError` (cycles are precisely what section 2 adds over
     nested values).
+
+    The output is nested Python data, so decoding necessarily recurses to
+    the data's depth; rather than letting a deep chain die with an
+    arbitrary :class:`RecursionError` mid-walk, depths beyond
+    ``max_depth`` raise the documented :class:`DepthLimitError` (data
+    that deep is better kept in graph form anyway).  The interpreter's
+    recursion limit is raised for the duration when ``max_depth`` needs
+    the headroom, so every depth up to the documented limit actually
+    decodes.
     """
+    import sys
+
     start = graph.root if node is None else node
-    return _decode(graph, start, on_path=set())
+    frames = 0
+    frame = sys._getframe()
+    while frame is not None:
+        frames += 1
+        frame = frame.f_back
+    # at most 2 interpreter frames per nesting level (call + comprehension)
+    needed = frames + 2 * max_depth + 100
+    previous = sys.getrecursionlimit()
+    if needed > previous:
+        sys.setrecursionlimit(needed)
+    try:
+        return _decode(graph, start, on_path=set(), depth=max_depth)
+    finally:
+        if needed > previous:
+            sys.setrecursionlimit(previous)
 
 
-def _decode(graph: Graph, node: int, on_path: set[int]) -> Any:
+def _decode(graph: Graph, node: int, on_path: set[int], depth: int) -> Any:
+    if depth <= 0:
+        # len(on_path) is exactly how many levels were walked: the limit
+        raise DepthLimitError("to_obj", len(on_path))
     if node in on_path:
         raise BuildError("graph is cyclic: no finite nested representation")
     edges = graph.edges_from(node)
@@ -111,13 +173,13 @@ def _decode(graph: Graph, node: int, on_path: set[int]) -> Any:
     labels = [e.label for e in edges]
     if all(lab.is_int for lab in labels):
         indexed = sorted(edges, key=lambda e: e.label.value)
-        return [_decode(graph, e.dst, on_path) for e in indexed]
+        return [_decode(graph, e.dst, on_path, depth - 1) for e in indexed]
     # Otherwise: a dict keyed by label value; repeated keys collapse to lists.
     out: dict[Any, Any] = {}
     seen_multi: set[Any] = set()
     for edge in edges:
         key = edge.label.value
-        value = _decode(graph, edge.dst, on_path)
+        value = _decode(graph, edge.dst, on_path, depth - 1)
         if key in out:
             if key not in seen_multi:
                 out[key] = [out[key]]

@@ -1,12 +1,24 @@
 """Distributed query decomposition (section 4, Suciu VLDB '96)."""
 
-from .decompose import DistributedStats, centralized_work, distributed_rpq
+from .decompose import (
+    DistributedStats,
+    SiteRuntime,
+    centralized_work,
+    distributed_rpq,
+    distributed_rpq_resilient,
+)
 from .sites import DistributedGraph, partition_graph
+from .srec_decompose import SrecStats, distributed_srec, distributed_srec_resilient
 
 __all__ = [
     "DistributedGraph",
     "partition_graph",
     "distributed_rpq",
+    "distributed_rpq_resilient",
+    "distributed_srec",
+    "distributed_srec_resilient",
     "centralized_work",
     "DistributedStats",
+    "SrecStats",
+    "SiteRuntime",
 ]

@@ -22,9 +22,27 @@ from dataclasses import dataclass, field
 
 from ..automata.dfa import LazyDfa
 from ..automata.product import compile_rpq
+from ..resilience import (
+    CircuitBreaker,
+    Clock,
+    Completeness,
+    EventLog,
+    FailureRecord,
+    FaultInjector,
+    ResilienceError,
+    RetryPolicy,
+    SimulatedClock,
+    call_with_retry,
+)
 from .sites import DistributedGraph
 
-__all__ = ["DistributedStats", "distributed_rpq", "centralized_work"]
+__all__ = [
+    "DistributedStats",
+    "distributed_rpq",
+    "distributed_rpq_resilient",
+    "centralized_work",
+    "SiteRuntime",
+]
 
 
 @dataclass
@@ -105,6 +123,189 @@ def distributed_rpq(
         stats.work.append(round_work)
         inboxes = outboxes
     return results, stats
+
+
+class SiteRuntime:
+    """Per-site resilience state for one decomposed evaluation.
+
+    Models the client side of [35]'s message protocol when sites can
+    fail: delivering a superstep's inbox to a site is one guarded call
+    (retried under ``policy``), and each site has its own circuit
+    breaker, so a permanently-dead site is contacted at most
+    ``failure_threshold`` times before every later delivery fails fast
+    without touching the network -- the documented trip bound.
+    """
+
+    def __init__(
+        self,
+        dist: DistributedGraph,
+        *,
+        injector: "FaultInjector | None" = None,
+        policy: "RetryPolicy | None" = None,
+        failure_threshold: int = 3,
+        cooldown: float = 60.0,
+        clock: "Clock | None" = None,
+        events: "EventLog | None" = None,
+    ) -> None:
+        self.dist = dist
+        self.injector = injector
+        self.policy = policy if policy is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.01
+        )
+        self.clock = clock if clock is not None else (
+            injector.clock if injector is not None else SimulatedClock()
+        )
+        self.events = events if events is not None else EventLog(self.clock)
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold,
+                cooldown,
+                clock=self.clock,
+                key=f"site:{site}",
+                events=self.events,
+            )
+            for site in range(dist.num_sites)
+        ]
+        self.retries = 0
+        self.deliveries = 0
+        self._failures: list[FailureRecord] = []
+
+    def deliver(self, site: int, payload: int) -> bool:
+        """One guarded inbox delivery of ``payload`` work units to ``site``.
+
+        Returns True when the site accepted the delivery; on ultimate
+        failure records the lost work and returns False (the partial-
+        result contract: degrade, and say so).
+        """
+        if self.injector is None:
+            # nothing can fail without an injector: skip the guarded call
+            # so the fault-free path stays within its overhead budget
+            self.deliveries += 1
+            return True
+        attempts_box = [0]
+
+        def contact() -> None:
+            attempts_box[0] += 1
+            if self.injector is not None:
+                self.injector.check(f"site:{site}")
+
+        try:
+            _, attempts = call_with_retry(
+                contact,
+                key=f"site:{site}",
+                policy=self.policy,
+                breaker=self.breakers[site],
+                clock=self.clock,
+                events=self.events,
+            )
+        except ResilienceError as exc:
+            self.retries += max(0, attempts_box[0] - 1)
+            self._failures.append(
+                FailureRecord(
+                    kind="site",
+                    key=f"site:{site}",
+                    attempts=attempts_box[0],
+                    error=repr(exc),
+                    lost=payload,
+                )
+            )
+            self.events.emit("fallback", key=f"site:{site}", lost=payload)
+            return False
+        self.retries += attempts - 1
+        self.deliveries += 1
+        return True
+
+    def completeness(self) -> Completeness:
+        return Completeness(
+            complete=not self._failures,
+            failures=tuple(self._failures),
+            retries=self.retries,
+            succeeded=self.deliveries,
+        )
+
+
+def distributed_rpq_resilient(
+    dist: DistributedGraph,
+    pattern: "str | LazyDfa",
+    *,
+    injector: "FaultInjector | None" = None,
+    policy: "RetryPolicy | None" = None,
+    failure_threshold: int = 3,
+    cooldown: float = 60.0,
+    clock: "Clock | None" = None,
+    events: "EventLog | None" = None,
+) -> tuple[set[int], DistributedStats, Completeness]:
+    """:func:`distributed_rpq` that survives site failures.
+
+    Identical BSP schedule, but each superstep's inbox delivery to a
+    site is one guarded call through that site's :class:`SiteRuntime`
+    breaker.  When a delivery ultimately fails, its configurations are
+    dropped and reported instead of crashing the query; because RPQ
+    answers are monotone in the visible graph, the returned node set is
+    a sound lower bound, and with sites permanently down it equals the
+    centralized answer over ``dist.without_sites(dead)`` (tested).
+
+    A matched node is recorded by the *sender* (the site that holds the
+    edge into it) -- the edge's existence is local knowledge -- so
+    targets of cross edges into a dead site still appear in the answer;
+    only traversal *beyond* the dead site is lost.
+
+    Returns ``(matched nodes, work stats, completeness report)``.
+    """
+    dfa = compile_rpq(pattern)
+    graph = dist.graph
+    runtime = SiteRuntime(
+        dist,
+        injector=injector,
+        policy=policy,
+        failure_threshold=failure_threshold,
+        cooldown=cooldown,
+        clock=clock,
+        events=events,
+    )
+    stats = DistributedStats()
+    results: set[int] = set()
+    seen: set[tuple[int, int]] = set()
+
+    root_site = dist.site_of[graph.root]
+    inboxes: list[list[tuple[int, int]]] = [[] for _ in range(dist.num_sites)]
+    start = (graph.root, dfa.start)
+    inboxes[root_site].append(start)
+    seen.add(start)
+    if dfa.is_accepting(dfa.start):
+        results.add(graph.root)
+
+    while any(inboxes):
+        round_work = [0] * dist.num_sites
+        outboxes: list[list[tuple[int, int]]] = [[] for _ in range(dist.num_sites)]
+        for site in range(dist.num_sites):
+            queue = inboxes[site]
+            if not queue:
+                continue
+            if not runtime.deliver(site, len(queue)):
+                continue  # degraded: this site's queued work is lost, and reported
+            while queue:
+                node, state = queue.pop()
+                round_work[site] += 1
+                for edge in graph.edges_from(node):
+                    nxt_state = dfa.step(state, edge.label)
+                    if dfa.is_dead(nxt_state):
+                        continue
+                    config = (edge.dst, nxt_state)
+                    if config in seen:
+                        continue
+                    seen.add(config)
+                    if dfa.is_accepting(nxt_state):
+                        results.add(edge.dst)
+                    target_site = dist.site_of[edge.dst]
+                    if target_site == site:
+                        queue.append(config)
+                    else:
+                        outboxes[target_site].append(config)
+                        stats.messages += 1
+        stats.work.append(round_work)
+        inboxes = outboxes
+    return results, stats, runtime.completeness()
 
 
 def centralized_work(dist: DistributedGraph, pattern: "str | LazyDfa") -> int:

@@ -68,6 +68,33 @@ class DistributedGraph:
             inputs.add(self.graph.root)
         return inputs
 
+    def without_sites(self, dead: "set[int] | frozenset[int]") -> Graph:
+        """The graph as seen when the given sites are unreachable.
+
+        Nodes on dead sites keep their identity (their *existence* is
+        known to whoever holds an edge pointing at them) but lose all
+        outgoing edges: nothing beyond a dead site can be traversed.
+        This is the reference semantics ("oracle") for partial-result
+        evaluation under site failure -- a resilient evaluation with
+        sites ``dead`` permanently down must return exactly the answer a
+        centralized evaluation returns over ``without_sites(dead)``.
+        """
+        for site in dead:
+            if not 0 <= site < self.num_sites:
+                raise ValueError(f"no such site {site}")
+        g = Graph()
+        mapping: dict[int, int] = {}
+        reach = self.graph.reachable()
+        for node in sorted(reach):
+            mapping[node] = g.new_node()
+        for node in sorted(reach):
+            if self.site_of[node] in dead:
+                continue
+            for edge in self.graph.edges_from(node):
+                g.add_edge(mapping[node], edge.label, mapping[edge.dst])
+        g.set_root(mapping[self.graph.root])
+        return g
+
     def locality(self) -> float:
         """Fraction of reachable edges that stay within one site."""
         total = 0

@@ -20,10 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.graph import Graph
+from ..resilience import Completeness
 from ..unql.sstruct import REC_MARKER, RecursionBody, SubtreeView
 from .sites import DistributedGraph
 
-__all__ = ["SrecStats", "distributed_srec"]
+__all__ = ["SrecStats", "distributed_srec", "distributed_srec_resilient"]
 
 
 @dataclass
@@ -49,17 +50,11 @@ class SrecStats:
         return self.total_work / self.parallel_work
 
 
-def distributed_srec(
-    dist: DistributedGraph, body: RecursionBody
-) -> tuple[Graph, SrecStats]:
-    """Evaluate ``srec(body)`` with per-site parallel template phases.
-
-    Phase 1 (parallel, no communication): every site instantiates the
-    template for each of its local edges, producing output fragments that
-    refer to the shared ``out(node)`` skeleton.
-    Phase 2 (sequential): epsilon elimination over the union of all
-    fragments -- the only step that sees data from more than one site.
-    """
+def _srec_over_sites(
+    dist: DistributedGraph, body: RecursionBody, runtime=None
+) -> tuple[Graph, SrecStats, "Completeness"]:
+    """The shared schedule; ``runtime`` (a :class:`~repro.distributed.
+    decompose.SiteRuntime`) guards each site's template phase when given."""
     graph = dist.graph
     stats = SrecStats()
     out = Graph()
@@ -72,27 +67,88 @@ def distributed_srec(
         eps.setdefault(src, []).append(dst)
 
     for site in range(dist.num_sites):
-        local_edges = 0
-        for node in sorted(dist.members[site] & reach):
-            for edge in graph.edges_from(node):
-                local_edges += 1
-                template = body(edge.label, SubtreeView(graph, edge.dst))
-                t_reach = template.reachable()
-                mapping = {t: out.new_node() for t in sorted(t_reach)}
-                for t_node in sorted(t_reach):
-                    for t_edge in template.edges_from(t_node):
-                        if t_edge.label == REC_MARKER:
-                            add_eps(mapping[t_node], out_node[edge.dst])
-                        else:
-                            out.add_edge(
-                                mapping[t_node], t_edge.label, mapping[t_edge.dst]
-                            )
-                add_eps(out_node[node], mapping[template.root])
-        stats.per_site_edges.append(local_edges)
+        local = [
+            edge
+            for node in sorted(dist.members[site] & reach)
+            for edge in graph.edges_from(node)
+        ]
+        if runtime is not None and local and not runtime.deliver(site, len(local)):
+            # the site is unreachable: its edges transform nowhere, and the
+            # loss is reported; its nodes survive as leaves of the skeleton
+            stats.per_site_edges.append(0)
+            continue
+        for edge in local:
+            template = body(edge.label, SubtreeView(graph, edge.dst))
+            t_reach = template.reachable()
+            mapping = {t: out.new_node() for t in sorted(t_reach)}
+            for t_node in sorted(t_reach):
+                for t_edge in template.edges_from(t_node):
+                    if t_edge.label == REC_MARKER:
+                        add_eps(mapping[t_node], out_node[edge.dst])
+                    else:
+                        out.add_edge(
+                            mapping[t_node], t_edge.label, mapping[t_edge.dst]
+                        )
+            add_eps(out_node[edge.src], mapping[template.root])
+        stats.per_site_edges.append(len(local))
 
     # phase 2: the shared gluing pass
     from ..unql.sstruct import _eliminate_epsilon
 
     glued = _eliminate_epsilon(out, eps)
     stats.glue_edges = glued.num_edges
+    report = runtime.completeness() if runtime is not None else Completeness()
+    return glued, stats, report
+
+
+def distributed_srec(
+    dist: DistributedGraph, body: RecursionBody
+) -> tuple[Graph, SrecStats]:
+    """Evaluate ``srec(body)`` with per-site parallel template phases.
+
+    Phase 1 (parallel, no communication): every site instantiates the
+    template for each of its local edges, producing output fragments that
+    refer to the shared ``out(node)`` skeleton.
+    Phase 2 (sequential): epsilon elimination over the union of all
+    fragments -- the only step that sees data from more than one site.
+    """
+    glued, stats, _ = _srec_over_sites(dist, body)
     return glued, stats
+
+
+def distributed_srec_resilient(
+    dist: DistributedGraph,
+    body: RecursionBody,
+    *,
+    injector=None,
+    policy=None,
+    failure_threshold: int = 3,
+    cooldown: float = 60.0,
+    clock=None,
+    events=None,
+) -> tuple[Graph, SrecStats, Completeness]:
+    """:func:`distributed_srec` that survives site failures.
+
+    Each site's (otherwise communication-free) template phase starts
+    with one guarded dispatch through a per-site circuit breaker; a site
+    that ultimately cannot be reached contributes no fragments -- its
+    nodes remain as edgeless leaves in the output skeleton -- and the
+    loss is reported in the :class:`~repro.resilience.Completeness`
+    report.  For edge-local bodies (the decomposition assumption of
+    [35]) the degraded output is bisimilar to centralized ``srec`` over
+    ``dist.without_sites(dead)``.
+
+    Returns ``(output graph, work stats, completeness report)``.
+    """
+    from .decompose import SiteRuntime
+
+    runtime = SiteRuntime(
+        dist,
+        injector=injector,
+        policy=policy,
+        failure_threshold=failure_threshold,
+        cooldown=cooldown,
+        clock=clock,
+        events=events,
+    )
+    return _srec_over_sites(dist, body, runtime)

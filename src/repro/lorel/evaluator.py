@@ -28,7 +28,6 @@ from .ast import (
     BoolOp,
     Compare,
     ExistsPredicate,
-    FromClause,
     LikePredicate,
     LiteralOperand,
     LorelQuery,

@@ -1,0 +1,54 @@
+"""Resilience layer: retries, timeouts, circuit breakers, fault injection,
+and partial-result semantics for the external-data and distributed engines.
+
+See docs/RESILIENCE.md for the full contract.  The short version:
+
+* wrap unreliable calls with :func:`call_with_retry` under a
+  :class:`RetryPolicy`, an optional :class:`Deadline`, and an optional
+  :class:`CircuitBreaker`;
+* inject reproducible chaos with a seeded :class:`FaultInjector`;
+* engines in partial mode return answers plus a :class:`Completeness`
+  report instead of raising;
+* everything narrates into an :class:`EventLog` that tests assert on.
+"""
+
+from .clock import Clock, SimulatedClock, WallClock
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    InjectedFault,
+    ResilienceError,
+    RetriesExhausted,
+)
+from .events import Event, EventLog
+from .faults import FaultInjector
+from .partial import Completeness, FailureRecord, PartialResult, completeness_of
+from .policy import CircuitBreaker, Deadline, RetryPolicy, call_with_retry
+
+__all__ = [
+    # clocks
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    # errors
+    "ResilienceError",
+    "RetriesExhausted",
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "InjectedFault",
+    # events
+    "Event",
+    "EventLog",
+    # faults
+    "FaultInjector",
+    # partial results
+    "Completeness",
+    "FailureRecord",
+    "PartialResult",
+    "completeness_of",
+    # policies
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "call_with_retry",
+]

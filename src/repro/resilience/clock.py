@@ -1,0 +1,69 @@
+"""Time sources for the resilience layer.
+
+All timeout, backoff, and circuit-cooldown logic is written against the
+tiny :class:`Clock` protocol instead of :mod:`time` directly, for the same
+reason the storage layer counts page faults instead of spinning disks
+(DESIGN.md's substitution table): tests and benchmarks need *deterministic*
+time.  :class:`SimulatedClock` advances only when someone sleeps on it, so
+a chaos test that retries with exponential backoff finishes in
+microseconds of wall time yet reports exact simulated latencies.
+:class:`WallClock` is the production source.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "SimulatedClock", "WallClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The two operations resilience code needs from a time source."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic; origin unspecified)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to) for ``seconds``."""
+        ...
+
+
+class SimulatedClock:
+    """A deterministic clock: time moves only via :meth:`sleep`/:meth:`advance`.
+
+    ``slept`` accumulates total simulated sleep, which is how benchmarks
+    report recovery latency without real waiting.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.slept = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep {seconds}s")
+        self._now += seconds
+        self.slept += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without counting it as sleep (external delay)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance {seconds}s")
+        self._now += seconds
+
+
+class WallClock:
+    """Real time: :func:`time.monotonic` and :func:`time.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)

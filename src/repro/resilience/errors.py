@@ -1,0 +1,66 @@
+"""Typed failures of the resilience layer.
+
+Every failure mode an engine can see from a guarded call has its own
+exception class, all rooted at :class:`ResilienceError`, so callers can
+catch the whole family (partial-result mode) or let it propagate
+(fail-fast mode) without string matching.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "RetriesExhausted",
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "InjectedFault",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures raised by guarded calls."""
+
+
+class RetriesExhausted(ResilienceError):
+    """A call failed on every attempt its :class:`RetryPolicy` allowed.
+
+    ``attempts`` is how many times the underlying callable actually ran;
+    ``__cause__`` is the last underlying exception.
+    """
+
+    def __init__(self, key: str, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"{key}: gave up after {attempts} attempt(s): {cause!r}"
+        )
+        self.key = key
+        self.attempts = attempts
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was short-circuited because its circuit breaker is open.
+
+    The underlying callable was *not* run: ``attempts`` is always 0.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"{key}: circuit breaker is open, call not attempted")
+        self.key = key
+        self.attempts = 0
+
+
+class DeadlineExceeded(ResilienceError):
+    """A call (or its next backoff sleep) would overrun its time budget."""
+
+    def __init__(self, key: str, budget: float) -> None:
+        super().__init__(f"{key}: deadline of {budget:g}s exceeded")
+        self.key = key
+        self.budget = budget
+
+
+class InjectedFault(ResilienceError):
+    """A deliberately injected failure (chaos testing, never production)."""
+
+    def __init__(self, key: str, reason: str) -> None:
+        super().__init__(f"{key}: injected fault ({reason})")
+        self.key = key
+        self.reason = reason

@@ -1,0 +1,75 @@
+"""A lightweight structured event log for resilience observability.
+
+Retries, breaker trips, fallbacks to partial results, and fetch latencies
+are invisible in a query's answer by design -- that is the point of
+graceful degradation.  They must therefore be observable *somewhere*, or
+chaos tests could only assert end results and benchmarks could not count
+recovery work.  :class:`EventLog` is that somewhere: an append-only list
+of ``(kind, time, fields)`` records with just enough query surface
+(:meth:`of_kind`, :meth:`count`) for tests to assert on.
+
+Well-known kinds emitted by this package::
+
+    retry          -- one failed attempt will be retried (key, attempt, delay)
+    give-up        -- a call exhausted its attempts (key, attempts, error)
+    short-circuit  -- a call was blocked by an open breaker (key)
+    trip           -- a breaker moved closed -> open (key, failures)
+    half-open      -- a breaker allows a probe after cooldown (key)
+    reset          -- a breaker closed again after a success (key)
+    fallback       -- an engine degraded to a partial result (key, lost)
+    fetch-latency  -- a guarded call succeeded (key, seconds, attempts)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from .clock import Clock
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence: a kind, a timestamp, and open fields."""
+
+    kind: str
+    at: float
+    fields: Mapping[str, Any]
+
+    def __getitem__(self, name: str) -> Any:
+        return self.fields[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<{self.kind} @{self.at:g} {inner}>"
+
+
+@dataclass
+class EventLog:
+    """Append-only structured log; cheap enough to leave on everywhere."""
+
+    clock: "Clock | None" = None
+    events: list[Event] = field(default_factory=list)
+
+    def emit(self, kind: str, **fields: Any) -> Event:
+        at = self.clock.now() if self.clock is not None else 0.0
+        event = Event(kind, at, fields)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> Iterator[Event]:
+        return (e for e in self.events if e.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for _ in self.of_kind(kind))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)

@@ -1,0 +1,120 @@
+"""Deterministic, seedable fault injection for chaos testing.
+
+A :class:`FaultInjector` simulates the 1997 web (and 1997 networks) being
+what they were: slow, flaky, and sometimes just gone.  It wraps any
+fetcher or site evaluator and decides, per call, whether to add latency,
+raise an :class:`~repro.resilience.errors.InjectedFault`, or let the call
+through -- according to a *schedule* that is a pure function of the seed,
+the call key, and how many times that key has been called.  Re-running a
+chaos test with the same seed replays the exact same failure sequence,
+which is what makes the chaos suite a regression suite rather than a
+flake generator.
+
+Four schedules compose (checked in this order):
+
+* **permanent outage** -- keys in ``outages`` always fail;
+* **flaky-then-succeed** -- ``flaky={key: n}`` fails the first ``n``
+  calls for ``key``, then succeeds forever (models a dependency coming
+  back up);
+* **fail-rate** -- every other call fails independently with probability
+  ``fail_rate`` (transient noise);
+* **latency** -- surviving calls sleep ``latency`` +- ``latency_jitter``
+  seconds on the injector's clock before proceeding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Mapping, TypeVar
+
+from .clock import Clock, SimulatedClock
+from .errors import InjectedFault
+
+__all__ = ["FaultInjector"]
+
+T = TypeVar("T")
+
+
+class FaultInjector:
+    """A reproducible source of scheduled failures and latency."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        fail_rate: float = 0.0,
+        latency: float = 0.0,
+        latency_jitter: float = 0.0,
+        flaky: "Mapping[str, int] | None" = None,
+        outages: "Iterable[str] | None" = None,
+        clock: "Clock | None" = None,
+    ) -> None:
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ValueError("fail_rate must be a probability")
+        if latency < 0 or latency_jitter < 0:
+            raise ValueError("latency must be non-negative")
+        self.seed = seed
+        self.fail_rate = fail_rate
+        self.latency = latency
+        self.latency_jitter = latency_jitter
+        self.flaky = dict(flaky or {})
+        self.outages = frozenset(outages or ())
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._calls: dict[str, int] = {}
+
+    # -- schedule ---------------------------------------------------------------
+
+    def calls(self, key: str) -> int:
+        """How many times ``key`` has been contacted so far."""
+        return self._calls.get(key, 0)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self._calls.values())
+
+    def _rng(self, key: str, seq: int) -> random.Random:
+        return random.Random(f"{self.seed}:{key}:{seq}")
+
+    def check(self, key: str) -> None:
+        """One simulated contact with ``key``: latency, then fate.
+
+        Raises :class:`InjectedFault` when the schedule says this call
+        fails; returns normally otherwise.  Engines guard their real work
+        with this call, so a failure costs the injected latency but never
+        corrupts state.
+        """
+        seq = self._calls.get(key, 0)
+        self._calls[key] = seq + 1
+        rng = self._rng(key, seq)
+        if self.latency or self.latency_jitter:
+            self.clock.sleep(
+                max(0.0, self.latency + self.latency_jitter * (2 * rng.random() - 1))
+            )
+        if key in self.outages:
+            raise InjectedFault(key, "permanent outage")
+        remaining = self.flaky.get(key, 0)
+        if remaining > 0:
+            self.flaky[key] = remaining - 1
+            raise InjectedFault(key, f"flaky ({remaining} failure(s) left)")
+        if self.fail_rate and rng.random() < self.fail_rate:
+            raise InjectedFault(key, f"transient (rate {self.fail_rate:g})")
+
+    # -- wrapping ---------------------------------------------------------------
+
+    def wrap_fetcher(self, fetcher: Callable[[str], T]) -> Callable[[str], T]:
+        """A fetcher that consults the schedule before each real fetch."""
+
+        def guarded(key: str) -> T:
+            self.check(key)
+            return fetcher(key)
+
+        return guarded
+
+    def wrap(self, fn: Callable[..., T], key: str) -> Callable[..., T]:
+        """Guard an arbitrary callable under a fixed key."""
+
+        def guarded(*args: object, **kwargs: object) -> T:
+            self.check(key)
+            return fn(*args, **kwargs)
+
+        return guarded

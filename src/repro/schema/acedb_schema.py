@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from ..automata.regex import any_label, exact, type_test
 from ..core.labels import LabelKind
-from .graphschema import GraphSchema, SchemaError
+from .graphschema import GraphSchema
 
 __all__ = ["parse_acedb_model", "AcedbModelError"]
 

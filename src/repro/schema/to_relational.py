@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.graph import Graph
-from ..core.labels import sym
 from ..relational.relation import Relation
 
 __all__ = ["ExtractionReport", "extract_tables"]

@@ -1,5 +1,6 @@
 """Persistent storage for semistructured data (section 4)."""
 
+from .external import EXTERNAL_MARKER, ExternalGraph
 from .serializer import SerializationError, dumps, loads
 from .store import GraphStore, PageCache, traversal_page_faults
 
@@ -10,4 +11,6 @@ __all__ = [
     "GraphStore",
     "PageCache",
     "traversal_page_faults",
+    "ExternalGraph",
+    "EXTERNAL_MARKER",
 ]

@@ -110,7 +110,10 @@ def _read_label(data: bytes, pos: int) -> tuple[Label, int]:
     length, pos = _read_varint(data, pos)
     if pos + length > len(data):
         raise SerializationError("truncated string")
-    text = data[pos : pos + length].decode("utf-8")
+    try:
+        text = data[pos : pos + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"corrupt string payload: {exc}") from exc
     return Label(kind, text), pos + length
 
 
@@ -131,19 +134,43 @@ def dumps(graph: Graph) -> bytes:
 
 
 def loads(data: bytes) -> Graph:
-    """Reconstruct a graph serialized by :func:`dumps`."""
+    """Reconstruct a graph serialized by :func:`dumps`.
+
+    Every failure mode of corrupt input -- bad magic, truncation at any
+    byte, bit flips, implausible counts, invalid UTF-8 -- raises
+    :class:`SerializationError` (or a subclass-compatible ``ValueError``);
+    no other exception type may escape.  Counts are sanity-checked
+    *before* allocation, so a flipped bit in a varint cannot make the
+    decoder try to allocate billions of nodes.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
     if data[:4] != _MAGIC:
         raise SerializationError("bad magic: not an SSD1 graph")
     pos = 4
     num_nodes, pos = _read_varint(data, pos)
     root, pos = _read_varint(data, pos)
-    g = Graph()
-    nodes = [g.new_node() for _ in range(num_nodes)]
+    # plausibility: every node record costs at least one byte (its degree
+    # varint), so a count beyond the remaining bytes is corruption, not data
+    if num_nodes > len(data) - pos:
+        raise SerializationError(
+            f"implausible node count {num_nodes} for {len(data) - pos} payload bytes"
+        )
+    if num_nodes == 0:
+        raise SerializationError("graph must have at least a root node")
     if root >= num_nodes:
         raise SerializationError("root out of range")
+    g = Graph()
+    nodes = [g.new_node() for _ in range(num_nodes)]
     g.set_root(nodes[root])
     for node in nodes:
         degree, pos = _read_varint(data, pos)
+        # each edge costs at least two bytes (label kind + target varint)
+        if degree > (len(data) - pos) // 2 + 1:
+            raise SerializationError(
+                f"implausible out-degree {degree} for {len(data) - pos} payload bytes"
+            )
         for _ in range(degree):
             label, pos = _read_label(data, pos)
             dst, pos = _read_varint(data, pos)

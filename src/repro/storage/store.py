@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.graph import Graph
+from ..resilience import EventLog
 from .serializer import SerializationError, dumps, loads, serialize_node_record
 
 __all__ = ["GraphStore", "PageCache", "traversal_page_faults"]
@@ -137,7 +138,18 @@ class GraphStore:
     def load(
         cls, path: "str | Path", clustering: str = "dfs", page_size: int = 4096
     ) -> "GraphStore":
-        graph = loads(Path(path).read_bytes())
+        """Rebuild a store from disk.
+
+        Corrupt payloads surface as :class:`SerializationError` -- a
+        truncated or bit-flipped file must never escape as an untyped
+        decoding exception (the robustness suite fuzzes this).
+        """
+        try:
+            graph = loads(Path(path).read_bytes())
+        except SerializationError:
+            raise
+        except ValueError as exc:  # defensive: decoding helpers grow over time
+            raise SerializationError(f"corrupt store file {path}: {exc}") from exc
         return cls(graph, clustering=clustering, page_size=page_size)
 
     @property
@@ -146,14 +158,22 @@ class GraphStore:
 
 
 class PageCache:
-    """An LRU buffer pool over a store's pages, counting faults."""
+    """An LRU buffer pool over a store's pages, counting faults.
 
-    def __init__(self, store: GraphStore, capacity: int) -> None:
+    An optional :class:`~repro.resilience.EventLog` receives one
+    ``page-fault`` event per miss, putting buffer-pool behavior on the
+    same observability bus as retries and breaker trips.
+    """
+
+    def __init__(
+        self, store: GraphStore, capacity: int, events: "EventLog | None" = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache needs at least one frame")
         self._store = store
         self._capacity = capacity
         self._frames: OrderedDict[int, bytearray] = OrderedDict()
+        self._events = events
         self.faults = 0
         self.hits = 0
 
@@ -165,6 +185,8 @@ class PageCache:
             self._frames.move_to_end(page)
             return
         self.faults += 1
+        if self._events is not None:
+            self._events.emit("page-fault", page=page, node=node)
         self._frames[page] = self._store.pages[page]
         if len(self._frames) > self._capacity:
             self._frames.popitem(last=False)

@@ -32,7 +32,6 @@ from .ast import (
     ConstructTree,
     ConstructUnion,
     ConstructVar,
-    LabelVarEdge,
     LikeCondition,
     LiteralTarget,
     NestedPattern,

@@ -5,7 +5,7 @@ import pytest
 from repro.automata.product import rpq_nodes
 from repro.core.builder import from_obj
 from repro.core.fusion import FusionError, fuse_graphs, fuse_objects
-from repro.core.labels import string, sym
+from repro.core.labels import sym
 
 
 def source_a():

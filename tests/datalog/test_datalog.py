@@ -11,7 +11,6 @@ from repro.datalog import (
     DatalogSyntaxError,
     check_safety,
     evaluate,
-    graph_edb,
     parse_program,
     run_on_graph,
     stratify,

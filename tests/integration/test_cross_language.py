@@ -23,7 +23,6 @@ from repro.index import GraphIndexes
 from repro.lorel import lorel, lorel_rows
 from repro.relational.translate import translate_bindings
 from repro.unql import unql
-from repro.unql.evaluator import query_bindings
 from repro.unql.parser import parse_query
 
 

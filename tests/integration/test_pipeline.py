@@ -1,9 +1,8 @@
 r"""Integration: full-system pipelines across package boundaries."""
 
-import pytest
 
 from repro.browse import find_value
-from repro.core import bisimilar, from_obj, graph_to_oem, oem_to_graph
+from repro.core import bisimilar, graph_to_oem, oem_to_graph
 from repro.core.labels import string, sym
 from repro.datasets import figure1, generate_acedb, generate_movies
 from repro.index import GraphIndexes

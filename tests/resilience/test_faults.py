@@ -1,0 +1,120 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.resilience import FaultInjector, InjectedFault, SimulatedClock
+
+
+def outcomes(injector, key, n):
+    """The pass/fail sequence of the first ``n`` contacts with ``key``."""
+    out = []
+    for _ in range(n):
+        try:
+            injector.check(key)
+            out.append("ok")
+        except InjectedFault:
+            out.append("fail")
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(seed=42, fail_rate=0.5)
+        b = FaultInjector(seed=42, fail_rate=0.5)
+        assert outcomes(a, "page", 50) == outcomes(b, "page", 50)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(seed=1, fail_rate=0.5)
+        b = FaultInjector(seed=2, fail_rate=0.5)
+        assert outcomes(a, "page", 50) != outcomes(b, "page", 50)
+
+    def test_keys_have_independent_schedules(self):
+        inj = FaultInjector(seed=3, fail_rate=0.5)
+        assert outcomes(inj, "page-a", 50) != outcomes(inj, "page-b", 50)
+
+
+class TestSchedules:
+    def test_zero_rate_never_fails(self):
+        inj = FaultInjector(seed=0, fail_rate=0.0)
+        assert outcomes(inj, "page", 30) == ["ok"] * 30
+
+    def test_full_rate_always_fails(self):
+        inj = FaultInjector(seed=0, fail_rate=1.0)
+        assert outcomes(inj, "page", 30) == ["fail"] * 30
+
+    def test_fail_rate_is_roughly_honored(self):
+        inj = FaultInjector(seed=9, fail_rate=0.3)
+        seq = outcomes(inj, "page", 500)
+        rate = seq.count("fail") / len(seq)
+        assert 0.2 < rate < 0.4
+
+    def test_outage_is_permanent(self):
+        inj = FaultInjector(outages={"dead"})
+        assert outcomes(inj, "dead", 10) == ["fail"] * 10
+        assert outcomes(inj, "alive", 3) == ["ok"] * 3
+
+    def test_flaky_then_succeed(self):
+        inj = FaultInjector(flaky={"warming-up": 3})
+        assert outcomes(inj, "warming-up", 6) == ["fail"] * 3 + ["ok"] * 3
+
+    def test_call_counting(self):
+        inj = FaultInjector(outages={"dead"})
+        outcomes(inj, "dead", 4)
+        outcomes(inj, "alive", 2)
+        assert inj.calls("dead") == 4
+        assert inj.calls("alive") == 2
+        assert inj.calls("never") == 0
+        assert inj.total_calls == 6
+
+
+class TestLatency:
+    def test_latency_accrues_on_simulated_clock(self):
+        clock = SimulatedClock()
+        inj = FaultInjector(latency=0.2, clock=clock)
+        outcomes(inj, "slow", 5)
+        assert clock.slept == pytest.approx(1.0)
+
+    def test_latency_jitter_bounded_and_deterministic(self):
+        clock = SimulatedClock()
+        inj = FaultInjector(seed=5, latency=0.2, latency_jitter=0.1, clock=clock)
+        outcomes(inj, "slow", 10)
+        assert 1.0 <= clock.slept <= 3.0
+        clock2 = SimulatedClock()
+        inj2 = FaultInjector(seed=5, latency=0.2, latency_jitter=0.1, clock=clock2)
+        outcomes(inj2, "slow", 10)
+        assert clock2.slept == clock.slept
+
+    def test_failures_still_cost_latency(self):
+        clock = SimulatedClock()
+        inj = FaultInjector(latency=0.5, outages={"dead"}, clock=clock)
+        outcomes(inj, "dead", 2)
+        assert clock.slept == pytest.approx(1.0)
+
+
+class TestWrapping:
+    def test_wrap_fetcher(self):
+        inj = FaultInjector(flaky={"k": 1})
+        fetched = []
+
+        def fetcher(key):
+            fetched.append(key)
+            return f"<{key}>"
+
+        guarded = inj.wrap_fetcher(fetcher)
+        with pytest.raises(InjectedFault):
+            guarded("k")
+        assert fetched == []  # the fault fires before the real fetch
+        assert guarded("k") == "<k>"
+        assert fetched == ["k"]
+
+    def test_wrap_fixed_key(self):
+        inj = FaultInjector(outages={"site:0"})
+        guarded = inj.wrap(lambda x: x + 1, "site:0")
+        with pytest.raises(InjectedFault):
+            guarded(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(latency=-1.0)

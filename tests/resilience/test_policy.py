@@ -1,0 +1,189 @@
+"""Unit tests for retry policies, deadlines, and circuit breakers."""
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    EventLog,
+    RetriesExhausted,
+    RetryPolicy,
+    SimulatedClock,
+    call_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay(i) for i in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        a = policy.delay(1, "stub-a")
+        assert a == policy.delay(1, "stub-a")  # same key, same delay
+        assert 0.75 <= a <= 1.25
+        assert policy.delay(1, "stub-a") != policy.delay(1, "stub-b")
+
+    def test_none_policy_is_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+
+class TestDeadline:
+    def test_expires_on_simulated_clock(self):
+        clock = SimulatedClock()
+        deadline = Deadline(1.0, clock)
+        assert not deadline.expired
+        clock.sleep(0.6)
+        assert deadline.remaining() == pytest.approx(0.4)
+        clock.sleep(0.6)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("query")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0, SimulatedClock())
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = SimulatedClock()
+        return CircuitBreaker(threshold, cooldown, clock=clock, key="dep"), clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 2 + 2, never 3
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.sleep(5.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # only one
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.sleep(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()  # cooldown restarted
+
+
+class TestCallWithRetry:
+    def test_flaky_then_succeed(self):
+        clock = SimulatedClock()
+        events = EventLog(clock)
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] < 3:
+                raise OSError("boom")
+            return "ok"
+
+        result, attempts = call_with_retry(
+            flaky,
+            key="dep",
+            policy=RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0),
+            clock=clock,
+            events=events,
+        )
+        assert result == "ok" and attempts == 3
+        assert events.count("retry") == 2
+        assert events.count("fetch-latency") == 1
+        assert clock.slept == pytest.approx(0.1 + 0.2)  # exponential backoff
+
+    def test_exhaustion_chains_last_error(self):
+        clock = SimulatedClock()
+
+        def always():
+            raise OSError("down")
+
+        with pytest.raises(RetriesExhausted) as info:
+            call_with_retry(
+                always,
+                key="dep",
+                policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+                clock=clock,
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_breaker_blocks_without_calling(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(1, 100.0, clock=clock)
+        breaker.record_failure()
+        calls = [0]
+
+        def fn():
+            calls[0] += 1
+
+        with pytest.raises(CircuitOpenError):
+            call_with_retry(fn, key="dep", breaker=breaker, clock=clock)
+        assert calls[0] == 0
+
+    def test_deadline_cuts_backoff_short(self):
+        clock = SimulatedClock()
+        deadline = Deadline(0.5, clock)
+
+        def always():
+            raise OSError("down")
+
+        with pytest.raises(DeadlineExceeded):
+            call_with_retry(
+                always,
+                key="dep",
+                policy=RetryPolicy(max_attempts=10, base_delay=1.0, jitter=0.0),
+                deadline=deadline,
+                clock=clock,
+            )
+        # failed once, then refused to sleep 1.0s against a 0.5s budget
+        assert clock.slept == 0.0
+
+    def test_non_retryable_propagates_raw(self):
+        def typo():
+            raise KeyError("bug, not fault")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                typo,
+                key="dep",
+                policy=RetryPolicy(max_attempts=5),
+                clock=SimulatedClock(),
+                retryable=(OSError,),
+            )

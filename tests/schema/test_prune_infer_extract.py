@@ -16,7 +16,6 @@ from repro.core.builder import from_obj
 from repro.core.labels import LabelKind
 from repro.relational.encode import relational_to_graph
 from repro.relational.relation import Relation
-from repro.schema.graphschema import GraphSchema
 from repro.schema.inference import infer_schema
 from repro.schema.prune import (
     predicates_may_overlap,

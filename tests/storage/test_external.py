@@ -1,6 +1,5 @@
 """Tests for dynamically-fetched external data ([28])."""
 
-import pytest
 
 from repro.automata.product import rpq_nodes, rpq_witnesses
 from repro.browse import find_value

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import load_database, main
 from repro.datasets import figure1
-from repro.storage import GraphStore, dumps
+from repro.storage import dumps
 
 
 @pytest.fixture()

@@ -71,7 +71,11 @@ def test_fuzz_deserializer_random_bytes(data):
 @given(st.binary(min_size=1, max_size=8), st.integers(0, 200))
 @settings(max_examples=200, deadline=None)
 def test_fuzz_deserializer_mutated_graphs(noise, position):
-    """Bit-flip a valid serialization: decode must succeed or raise cleanly."""
+    """Bit-flip a valid serialization: decode must succeed or raise cleanly.
+
+    Only :class:`SerializationError` may escape -- invalid UTF-8 in a
+    corrupted string payload is wrapped, not leaked as UnicodeDecodeError.
+    """
     base = dumps(from_obj({"Movie": {"Title": "Casablanca", "Year": 1942}}))
     position %= len(base)
     mutated = base[:position] + noise + base[position + len(noise):]
@@ -79,8 +83,103 @@ def test_fuzz_deserializer_mutated_graphs(noise, position):
         loads(mutated)
     except SerializationError:
         pass
-    except UnicodeDecodeError:
-        pass  # corrupt string payload: also a clean, typed failure
+
+
+def _sample_payload() -> bytes:
+    return dumps(
+        from_obj(
+            {
+                "Movie": {"Title": "Casablanca", "Year": 1942, "Classic": True},
+                "Rating": 8.5,
+                "Cast": ["Bogart", "Bergman"],
+            }
+        )
+    )
+
+
+def test_every_truncation_point_fails_cleanly():
+    """Each strict prefix of a valid payload: SerializationError, always."""
+    base = _sample_payload()
+    for cut in range(len(base)):
+        with pytest.raises(SerializationError):
+            loads(base[:cut])
+
+
+@given(st.integers(0, 10_000), st.integers(0, 255))
+@settings(max_examples=200, deadline=None)
+def test_single_byte_xor_round_trip(position, mask):
+    """XOR one byte anywhere: loads must round-trip or raise cleanly."""
+    base = _sample_payload()
+    position %= len(base)
+    flipped = bytes(
+        b ^ mask if i == position else b for i, b in enumerate(base)
+    )
+    try:
+        g = loads(flipped)
+    except SerializationError:
+        return
+    # a decode that survives must itself be re-serializable
+    assert isinstance(dumps(g), bytes)
+
+
+class TestCraftedCorruption:
+    """Hand-built payloads targeting the decoder's plausibility checks."""
+
+    def _varint(self, value: int) -> bytes:
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                return bytes(out)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(SerializationError):
+            loads("SSD1 not bytes")  # type: ignore[arg-type]
+
+    def test_rejects_billion_node_claim(self):
+        """An implausible count must be rejected *before* allocation."""
+        payload = b"SSD1" + self._varint(10**9) + self._varint(0)
+        with pytest.raises(SerializationError, match="implausible node count"):
+            loads(payload)
+
+    def test_rejects_billion_edge_claim(self):
+        payload = (
+            b"SSD1" + self._varint(1) + self._varint(0) + self._varint(10**9)
+        )
+        with pytest.raises(SerializationError, match="implausible"):
+            loads(payload)
+
+    def test_rejects_empty_graph(self):
+        payload = b"SSD1" + self._varint(0) + self._varint(0)
+        with pytest.raises(SerializationError):
+            loads(payload)
+
+    def test_rejects_root_out_of_range(self):
+        payload = b"SSD1" + self._varint(1) + self._varint(5) + self._varint(0)
+        with pytest.raises(SerializationError, match="root"):
+            loads(payload)
+
+    def test_rejects_invalid_utf8_string(self):
+        payload = (
+            b"SSD1"
+            + self._varint(1)  # one node
+            + self._varint(0)  # root
+            + self._varint(1)  # degree 1
+            + b"y"             # symbol label
+            + self._varint(2)  # two payload bytes
+            + b"\xff\xfe"      # not UTF-8
+            + self._varint(0)  # edge target
+        )
+        with pytest.raises(SerializationError, match="corrupt string"):
+            loads(payload)
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(SerializationError, match="trailing"):
+            loads(_sample_payload() + b"\x00")
 
 
 class TestDeepInputs:
@@ -90,6 +189,59 @@ class TestDeepInputs:
             obj = {"n": obj}
         g = from_obj(obj)
         assert g.num_edges == 300
+
+    def test_50k_deep_chain_ingests_without_recursion(self):
+        """from_obj is iterative: depth way past the interpreter's
+        recursion limit must not raise RecursionError (regression)."""
+        obj = None
+        for i in range(50_000):
+            obj = {"n": obj} if i % 2 else {"n": obj, "tag": i}
+        g = from_obj(obj)
+        # 50k chain edges + 25k tag edges + 25k scalar leaves under them
+        assert g.num_edges == 100_000
+
+    def test_deep_chain_round_trips_through_storage(self):
+        obj = None
+        for _ in range(50_000):
+            obj = {"n": obj}
+        g = from_obj(obj)
+        assert loads(dumps(g)).num_edges == g.num_edges
+
+    def test_to_obj_deep_chain_raises_documented_error(self):
+        from repro.core.builder import DepthLimitError, to_obj
+
+        obj = None
+        for _ in range(50_000):
+            obj = {"n": obj}
+        g = from_obj(obj)
+        with pytest.raises(DepthLimitError) as info:
+            to_obj(g)
+        assert info.value.operation == "to_obj"
+        # the documented contract: a DepthLimitError IS a RecursionError
+        # (old callers catching the builtin keep working) and a BuildError
+        assert isinstance(info.value, RecursionError)
+
+    def test_to_obj_decodes_up_to_its_limit(self):
+        from repro.core.builder import to_obj
+
+        obj = None
+        depth = 900  # under the default 1000 but over what naive
+        for _ in range(depth):  # recursion on a default stack would allow
+            obj = {"n": obj}
+        decoded = to_obj(from_obj(obj))
+        for _ in range(depth):
+            decoded = decoded["n"]
+        assert decoded is None
+
+    def test_to_obj_custom_limit(self):
+        from repro.core.builder import DepthLimitError, to_obj
+
+        obj = None
+        for _ in range(20):
+            obj = {"n": obj}
+        with pytest.raises(DepthLimitError):
+            to_obj(from_obj(obj), max_depth=10)
+        assert to_obj(from_obj(obj), max_depth=2000) is not None
 
     def test_deep_regex_nesting(self):
         pattern = "(" * 40 + "a" + ")" * 40

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.core.bisim import bisimilar
 from repro.core.builder import from_obj
 from repro.core.graph import Graph
-from repro.core.labels import Label, string, sym
+from repro.core.labels import sym
 from repro.unql.sstruct import SubtreeView, keep_edge, rec, srec, srec_tree
 
 
