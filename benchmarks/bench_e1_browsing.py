@@ -16,15 +16,18 @@ from repro.browse import (
     find_attribute_names,
     find_integers_greater_than,
     find_value,
+    find_value_profiled,
 )
 from repro.datasets import generate_movies
 from repro.index import GraphIndexes
+from repro.obs.export import write_bench
 
 SIZES = [100, 400, 1600]
 
 
 def test_e1_browsing_scan_vs_index(benchmark):
     rows = []
+    records = {}
     for size in SIZES:
         g = generate_movies(size, seed=11)
         indexes = GraphIndexes(g).build_all()
@@ -59,6 +62,21 @@ def test_e1_browsing_scan_vs_index(benchmark):
                     f"x{scan_s / idx_s:.1f}" if idx_s else "-",
                 )
             )
+            records[f"{size}/{name}"] = {
+                "scan_s": scan_s,
+                "indexed_s": idx_s,
+                "hits": len(scan_hits),
+            }
+        # operation counts next to the timings they explain (scan vs index)
+        _, scan_profile = find_value_profiled(g, "Bogart")
+        _, idx_profile = find_value_profiled(g, "Bogart", indexes=indexes)
+        records[f"{size}/profiles"] = {
+            "scan": scan_profile.as_dict(),
+            "indexed": idx_profile.as_dict(),
+        }
+    write_bench(
+        "e1_browsing", {"timings": records}, Path(__file__).parent / "out"
+    )
     print_table(
         "E1: browsing queries, scan vs indexed",
         ["entries", "edges", "query", "hits", "scan", "indexed", "speedup"],

@@ -14,20 +14,28 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from _tables import print_table, timed
 
-from repro.automata.product import naive_rpq, rpq_nodes
+from repro.automata.product import naive_rpq, rpq_nodes, rpq_nodes_profiled
 from repro.datasets import generate_movies, generate_web
+from repro.obs.export import write_bench
 
 PATTERN = 'Entry.Movie.(!Movie)*."Allen"'
 
 
 def test_e2_product_vs_naive(benchmark):
     rows = []
+    records = {}
     for entries in [20, 60, 180]:
         g = generate_movies(entries, seed=23, reference_fraction=0.3)
         bound = 8
         product_s, product_hits = timed(lambda: rpq_nodes(g, PATTERN))
         naive_s, naive_hits = timed(lambda: naive_rpq(g, PATTERN, max_length=bound), repeat=1)
         assert naive_hits <= product_hits  # bounded baseline under-approximates
+        _, profile = rpq_nodes_profiled(g, PATTERN)
+        records[f"movies{entries}"] = {
+            "product_s": product_s,
+            "naive_s": naive_s,
+            "profile": profile.as_dict(),
+        }
         rows.append(
             (
                 entries,
@@ -47,6 +55,8 @@ def test_e2_product_vs_naive(benchmark):
     ratios = [float(r[5][1:]) for r in rows]
     assert ratios[-1] > 5.0
     assert ratios[-1] >= ratios[0]
+
+    write_bench("e2_rpq", {"timings": records}, Path(__file__).parent / "out")
 
     g = generate_movies(180, seed=23, reference_fraction=0.3)
     benchmark(lambda: rpq_nodes(g, PATTERN))

@@ -12,9 +12,11 @@ as the baseline for experiment E2.
 from __future__ import annotations
 
 from collections import deque
+from operator import itemgetter
 
 from ..core.graph import Edge, Graph
 from ..core.labels import Label
+from ..obs import QueryProfile
 from ..resilience import PartialResult, completeness_of
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
@@ -24,7 +26,9 @@ __all__ = [
     "compile_rpq",
     "rpq_nodes",
     "rpq_nodes_partial",
+    "rpq_nodes_profiled",
     "rpq_witnesses",
+    "rpq_witnesses_profiled",
     "naive_rpq",
 ]
 
@@ -51,6 +55,16 @@ def rpq_nodes(
     """
     dfa = compile_rpq(pattern)
     origin = graph.root if start is None else start
+    return _product_bfs(graph, dfa, origin)[0]
+
+
+def _product_bfs(graph: Graph, dfa: LazyDfa, origin: int) -> tuple[set[int], set[tuple[int, int]]]:
+    """The shared BFS core: matched nodes plus every explored config.
+
+    Returning ``seen`` lets the profiled entry points derive their counts
+    *after* the traversal (every seen config is expanded exactly once),
+    so the hot loop itself carries no instrumentation.
+    """
     results: set[int] = set()
     initial = (origin, dfa.start)
     if dfa.is_accepting(dfa.start):
@@ -70,7 +84,64 @@ def rpq_nodes(
             if dfa.is_accepting(nxt_state):
                 results.add(edge.dst)
             queue.append(config)
-    return results
+    return results, seen
+
+
+def _fill_product_counts(
+    profile: QueryProfile,
+    graph: Graph,
+    seen: set[tuple[int, int]],
+    states_before: int,
+    dfa: LazyDfa,
+) -> None:
+    """Derive the product counts of one BFS from its ``seen`` set."""
+    visited = set(map(itemgetter(0), seen))
+    profile.product_pairs += len(seen)
+    profile.nodes_visited += len(visited)
+    profile.edges_expanded += graph.total_out_degree(visited)
+    profile.dfa_states += dfa.num_materialized_states - states_before
+
+
+def rpq_nodes_profiled(
+    graph: Graph,
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    profile: "QueryProfile | None" = None,
+    tracer=None,
+) -> tuple[set[int], QueryProfile]:
+    """:func:`rpq_nodes` plus a :class:`~repro.obs.QueryProfile`.
+
+    Counts are exact and deterministic: distinct nodes entered by the
+    product, out-edges scanned from them, configurations explored, and
+    DFA states materialized by this evaluation (for a pre-compiled
+    :class:`LazyDfa` only *newly* built states count; a fresh compile
+    counts all of them, including the start state).  Pass ``profile`` to
+    accumulate across calls (the UnQL/Lorel evaluators do); pass a
+    ``tracer`` to record the evaluation as a span.
+    """
+    dfa = compile_rpq(pattern)
+    states_before = dfa.num_materialized_states if isinstance(pattern, LazyDfa) else 0
+    origin = graph.root if start is None else start
+    owns_profile = profile is None
+    if profile is None:
+        profile = QueryProfile(
+            engine="rpq", query=pattern if isinstance(pattern, str) else "<compiled>"
+        )
+    if tracer is not None:
+        with tracer.span("rpq", query=profile.query) as span:
+            results, seen = _product_bfs(graph, dfa, origin)
+            _fill_product_counts(profile, graph, seen, states_before, dfa)
+            span.annotate(results=len(results), product_pairs=len(seen))
+    else:
+        results, seen = _product_bfs(graph, dfa, origin)
+        _fill_product_counts(profile, graph, seen, states_before, dfa)
+    if owns_profile:
+        # when accumulating into a caller's profile (UnQL/Lorel), the
+        # caller owns the results count; a sub-query's matches are not
+        # the query's answers
+        profile.results = len(results)
+    return results, profile
 
 
 def rpq_nodes_partial(
@@ -135,6 +206,39 @@ def rpq_witnesses(
                 witnesses[edge.dst] = reconstruct(nxt)
             queue.append(nxt)
     return witnesses
+
+
+def rpq_witnesses_profiled(
+    graph: Graph,
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    profile: "QueryProfile | None" = None,
+) -> tuple[dict[int, tuple[Edge, ...]], QueryProfile]:
+    """:func:`rpq_witnesses` plus its :class:`~repro.obs.QueryProfile`.
+
+    The witness search explores the same product configurations as
+    :func:`rpq_nodes` (its ``parents`` map plays the role of ``seen``),
+    so the two profiled entry points report identical traversal counts
+    for the same query -- a cross-check the tests rely on.
+    """
+    dfa = compile_rpq(pattern)
+    states_before = dfa.num_materialized_states if isinstance(pattern, LazyDfa) else 0
+    witnesses = rpq_witnesses(graph, dfa, start)
+    # Re-derive the explored configs: rpq_witnesses visits exactly the
+    # configurations rpq_nodes does (same BFS, same pruning).
+    origin = graph.root if start is None else start
+    _, seen = _product_bfs(graph, dfa, origin)
+    owns_profile = profile is None
+    if profile is None:
+        profile = QueryProfile(
+            engine="rpq-witnesses",
+            query=pattern if isinstance(pattern, str) else "<compiled>",
+        )
+    _fill_product_counts(profile, graph, seen, states_before, dfa)
+    if owns_profile:
+        profile.results = len(witnesses)
+    return witnesses, profile
 
 
 def naive_rpq(

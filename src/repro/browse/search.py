@@ -33,16 +33,20 @@ from dataclasses import dataclass
 from ..core.graph import Edge, Graph
 from ..core.labels import Label, string
 from ..index import GraphIndexes
+from ..obs import QueryProfile
 from ..resilience import PartialResult, completeness_of
 
 __all__ = [
     "Finding",
     "find_value",
     "find_value_partial",
+    "find_value_profiled",
     "find_integers_greater_than",
     "find_integers_greater_than_partial",
+    "find_integers_greater_than_profiled",
     "find_attribute_names",
     "find_attribute_names_partial",
+    "find_attribute_names_profiled",
     "where_is",
 ]
 
@@ -157,6 +161,109 @@ def where_is(graph: Graph, value: "str | int | float | bool") -> list[str]:
 
 
 # -- partial-result variants (the resilience contract) -------------------------
+
+
+def _scan_profiled(graph: Graph, keep, profile: QueryProfile) -> list[Edge]:
+    """One accounted pass over the reachable graph.
+
+    The loop mirrors the plain scans' comprehension, with two integer
+    adds per *node* (not per edge) so the instrumented scan stays inside
+    the overhead budget of ``benchmarks/bench_obs_overhead.py``.
+    """
+    nodes = 0
+    scanned = 0
+    edges: list[Edge] = []
+    append = edges.append
+    edges_from = graph.edges_from
+    for n in graph.reachable():
+        nodes += 1
+        out = edges_from(n)
+        scanned += len(out)
+        for e in out:
+            if keep(e.label):
+                append(e)
+    profile.nodes_visited += nodes
+    profile.edges_expanded += scanned
+    return edges
+
+
+def _indexed_profiled(indexes: GraphIndexes, run, profile: QueryProfile) -> list[Edge]:
+    """Run an index-backed lookup, capturing the hit/miss delta it caused."""
+    hits_before = indexes.total_hits
+    misses_before = indexes.total_misses
+    edges = run()
+    profile.index_hits += indexes.total_hits - hits_before
+    profile.index_misses += indexes.total_misses - misses_before
+    return edges
+
+
+def find_value_profiled(
+    graph: Graph, value: "str | int | float | bool", indexes: GraphIndexes | None = None
+) -> tuple[list[Finding], QueryProfile]:
+    """:func:`find_value` plus a :class:`~repro.obs.QueryProfile`.
+
+    The scan path reports nodes visited and edges scanned; the indexed
+    path reports the index hit/miss delta the lookup caused instead.
+    """
+    from ..core.labels import label_of
+
+    target = string(value) if isinstance(value, str) else label_of(value)
+    profile = QueryProfile(engine="browse", query=f"find_value({value!r})")
+    if indexes is not None:
+        edges = _indexed_profiled(
+            indexes, lambda: list(indexes.value.find_exact(target)), profile
+        )
+    else:
+        edges = _scan_profiled(graph, target.__eq__, profile)
+    findings = _attach_paths(graph, edges)
+    profile.results = len(findings)
+    return findings, profile
+
+
+def find_integers_greater_than_profiled(
+    graph: Graph, bound: int, indexes: GraphIndexes | None = None
+) -> tuple[list[Finding], QueryProfile]:
+    """:func:`find_integers_greater_than` plus its query profile."""
+    profile = QueryProfile(engine="browse", query=f"ints_greater_than({bound})")
+    if indexes is not None:
+        edges = _indexed_profiled(
+            indexes,
+            lambda: [
+                e for e in indexes.value.numbers_greater_than(bound) if e.label.is_int
+            ],
+            profile,
+        )
+    else:
+        edges = _scan_profiled(
+            graph, lambda lab: lab.is_int and lab.value > bound, profile
+        )
+    findings = _attach_paths(graph, edges)
+    profile.results = len(findings)
+    return findings, profile
+
+
+def find_attribute_names_profiled(
+    graph: Graph, pattern: str, indexes: GraphIndexes | None = None
+) -> tuple[list[Finding], QueryProfile]:
+    """:func:`find_attribute_names` plus its query profile."""
+    glob = pattern.replace("%", "*")
+    profile = QueryProfile(engine="browse", query=f"attribute_names({pattern!r})")
+    if indexes is not None:
+
+        def run() -> list[Edge]:
+            labels = indexes.label.symbols_matching(pattern)
+            return [e for lab in labels for e in indexes.label.edges_with_label(lab)]
+
+        edges = _indexed_profiled(indexes, run, profile)
+    else:
+        edges = _scan_profiled(
+            graph,
+            lambda lab: lab.is_symbol and fnmatch.fnmatchcase(str(lab.value), glob),
+            profile,
+        )
+    findings = _attach_paths(graph, edges)
+    profile.results = len(findings)
+    return findings, profile
 
 
 def find_value_partial(

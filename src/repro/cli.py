@@ -10,7 +10,9 @@ A small working surface over the library for shell use:
 * ``find FILE VALUE``             -- the section-1.3 "where is it" query
 * ``paths FILE [DEPTH]``          -- DataGuide path vocabulary
 * ``schema FILE``                 -- infer and describe a schema
-* ``stats FILE``                  -- node/edge/label statistics
+* ``stats FILE [--json]``         -- node/edge/label statistics
+* ``profile FILE QUERY``          -- run a query and print its
+  :class:`~repro.obs.QueryProfile` (docs/OBSERVABILITY.md)
 * ``chaos FILE PATTERN``          -- distributed evaluation under injected
   site failures: partial answers + completeness report (docs/RESILIENCE.md)
 
@@ -123,16 +125,79 @@ def _cmd_schema(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from .obs.export import metrics_to_dict, to_json
+    from .storage import STORAGE_METRICS
+
     g = load_database(args.file)
-    print(f"nodes:  {g.num_nodes}")
-    print(f"edges:  {g.num_edges}")
-    print(f"cyclic: {g.has_cycle()}")
     by_kind: dict[str, int] = {}
     for edge in g.edges():
         by_kind[edge.label.kind.value] = by_kind.get(edge.label.kind.value, 0) + 1
+    if args.json:
+        payload = {
+            "nodes": g.num_nodes,
+            "edges": g.num_edges,
+            "cyclic": g.has_cycle(),
+            "labels": {k.value: by_kind[k.value] for k in LabelKind if k.value in by_kind},
+            "storage": metrics_to_dict(STORAGE_METRICS),
+        }
+        print(to_json(payload))
+        return 0
+    print(f"nodes:  {g.num_nodes}")
+    print(f"edges:  {g.num_edges}")
+    print(f"cyclic: {g.has_cycle()}")
     for kind in LabelKind:
         if kind.value in by_kind:
             print(f"labels[{kind.value}]: {by_kind[kind.value]}")
+    for name, value in metrics_to_dict(STORAGE_METRICS).items():
+        print(f"storage[{name}]: {value}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run one query under profiling; print its operation counts.
+
+    ``--engine`` picks the evaluator: ``rpq`` (path regex), ``lorel``,
+    ``unql``, or ``find`` (the section-1.3 browse search).  ``--json``
+    emits the profile via :mod:`repro.obs.export` for scripting.
+    """
+    from .browse import find_value_profiled
+    from .core.convert import graph_to_oem
+    from .lorel import evaluate_lorel_profiled, parse_lorel
+    from .obs.export import to_json
+    from .unql import evaluate_query_profiled, parse_query
+
+    g = load_database(args.file)
+    if args.engine == "rpq":
+        from .automata.product import rpq_nodes_profiled
+
+        results, profile = rpq_nodes_profiled(g, args.query)
+        preview = f"{len(results)} node(s)"
+    elif args.engine == "lorel":
+        db = graph_to_oem(g)
+        result, profile = evaluate_lorel_profiled(
+            parse_lorel(args.query), db, query_text=args.query
+        )
+        answer = result.get(result.lookup_name("Answer"))
+        preview = f"answer with {len(answer.children)} member(s)"
+    elif args.engine == "unql":
+        result, profile = evaluate_query_profiled(
+            parse_query(args.query), {"db": g, "DB": g}, query_text=args.query
+        )
+        preview = f"result graph: {result.num_nodes} node(s), {result.num_edges} edge(s)"
+    else:  # find
+        value: object = args.query
+        try:
+            value = json.loads(args.query)
+        except json.JSONDecodeError:
+            pass
+        findings, profile = find_value_profiled(g, value)
+        preview = f"{len(findings)} finding(s)"
+    if args.json:
+        print(to_json(profile.as_dict()))
+    else:
+        print(f"{args.engine}: {preview}")
+        for name, value in profile.as_dict().items():
+            print(f"  {name}: {value}")
     return 0
 
 
@@ -221,7 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="database statistics")
     p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("profile", help="run a query, print its operation counts")
+    p.add_argument("file")
+    p.add_argument("query")
+    p.add_argument(
+        "--engine",
+        choices=["rpq", "lorel", "unql", "find"],
+        default="rpq",
+        help="evaluator to profile (default: rpq path regex)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "chaos",

@@ -23,7 +23,7 @@ queries it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Union
+from typing import Iterable, Iterator, Union
 
 __all__ = ["Oid", "OemObject", "OemDatabase", "OemError", "ATOMIC_TYPES"]
 
@@ -117,6 +117,16 @@ class OemDatabase:
             return self._objects[oid]
         except KeyError:
             raise OemError(f"unknown oid {oid}") from None
+
+    def total_fanout(self, oids: "Iterable[Oid]") -> int:
+        """Sum of child counts over ``oids`` (each counted as given).
+
+        The OEM twin of :meth:`repro.core.graph.Graph.total_out_degree`:
+        one bulk call so profiled Lorel traversals can derive their
+        edge counts cheaply after the fact.
+        """
+        objects = self._objects
+        return sum(len(objects[oid].children) for oid in oids)
 
     def lookup_name(self, name: str) -> Oid:
         try:

@@ -5,6 +5,7 @@ from .decompose import (
     SiteRuntime,
     centralized_work,
     distributed_rpq,
+    distributed_rpq_profiled,
     distributed_rpq_resilient,
 )
 from .sites import DistributedGraph, partition_graph
@@ -14,6 +15,7 @@ __all__ = [
     "DistributedGraph",
     "partition_graph",
     "distributed_rpq",
+    "distributed_rpq_profiled",
     "distributed_rpq_resilient",
     "distributed_srec",
     "distributed_srec_resilient",

@@ -73,3 +73,52 @@ class GraphIndexes:
         """Force-construct every index (benchmarks use this for fairness)."""
         _ = self.label, self.value, self.text, self.path
         return self
+
+    def refresh(self) -> "GraphIndexes":
+        """Drop every built index so the next access rebuilds it.
+
+        The indexes snapshot the graph at construction; after mutating
+        the graph they are *stale* (documented, and pinned by the index
+        test suite).  ``refresh`` is the supported way back to agreement
+        with the live graph.
+        """
+        self._label = self._value = self._text = self._path = None
+        return self
+
+    def _built(self) -> dict[str, object]:
+        return {
+            name: idx
+            for name, idx in (
+                ("label", self._label),
+                ("value", self._value),
+                ("text", self._text),
+                ("path", self._path),
+            )
+            if idx is not None
+        }
+
+    def accounting(self) -> dict[str, dict[str, int]]:
+        """Per-index hit/miss counts for every index built so far.
+
+        Only constructed indexes appear -- an index nobody queried was
+        never built and has nothing to report.
+        """
+        return {
+            name: {"hits": idx.hits, "misses": idx.misses}
+            for name, idx in self._built().items()
+        }
+
+    @property
+    def total_hits(self) -> int:
+        return sum(idx.hits for idx in self._built().values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(idx.misses for idx in self._built().values())
+
+    def reset_accounting(self) -> "GraphIndexes":
+        """Zero every built index's hit/miss counters (per-query deltas)."""
+        for idx in self._built().values():
+            idx.hits = 0
+            idx.misses = 0
+        return self

@@ -22,30 +22,50 @@ __all__ = ["LabelIndex"]
 
 
 class LabelIndex:
-    """Inverted index ``label -> edges`` over the reachable part of a graph."""
+    """Inverted index ``label -> edges`` over the reachable part of a graph.
+
+    Every lookup is accounted: a query that found at least one edge is a
+    *hit*, one that found none a *miss*.  ``hits``/``misses`` are plain
+    always-on integers (see docs/OBSERVABILITY.md); the profiled browse
+    queries report per-query deltas of them.
+    """
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
         self._by_label: dict[Label, list[Edge]] = {}
         self._edge_count = 0
+        self.hits = 0
+        self.misses = 0
         for node in graph.reachable():
             for edge in graph.edges_from(node):
                 self._by_label.setdefault(edge.label, []).append(edge)
                 self._edge_count += 1
 
+    def _account(self, found: bool) -> None:
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+
     # -- lookups ---------------------------------------------------------------
 
     def edges_with_label(self, label: Label) -> tuple[Edge, ...]:
         """All edges carrying exactly ``label`` (empty if none)."""
-        return tuple(self._by_label.get(label, ()))
+        edges = self._by_label.get(label)
+        self._account(edges is not None)
+        return tuple(edges) if edges is not None else ()
 
     def sources_with_label(self, label: Label) -> set[int]:
         """Nodes that have at least one outgoing ``label`` edge."""
-        return {e.src for e in self._by_label.get(label, ())}
+        edges = self._by_label.get(label)
+        self._account(edges is not None)
+        return {e.src for e in edges} if edges is not None else set()
 
     def targets_of_label(self, label: Label) -> set[int]:
         """Nodes reached by at least one ``label`` edge."""
-        return {e.dst for e in self._by_label.get(label, ())}
+        edges = self._by_label.get(label)
+        self._account(edges is not None)
+        return {e.dst for e in edges} if edges is not None else set()
 
     def labels(self, kind: LabelKind | None = None) -> Iterator[Label]:
         """All distinct labels, optionally restricted to one kind."""
@@ -60,7 +80,7 @@ class LabelIndex:
         directly from index keys -- no graph traversal at all.
         """
         glob = pattern.replace("%", "*")
-        return sorted(
+        matched = sorted(
             (
                 label
                 for label in self._by_label
@@ -68,6 +88,8 @@ class LabelIndex:
             ),
             key=Label.sort_key,
         )
+        self._account(bool(matched))
+        return matched
 
     def count(self, label: Label) -> int:
         """Number of edges carrying ``label`` (a basic optimizer statistic)."""

@@ -25,13 +25,21 @@ __all__ = ["PathIndex"]
 
 
 class PathIndex:
-    """Map ``(label, label, ...) -> frozenset of nodes`` up to a depth bound."""
+    """Map ``(label, label, ...) -> frozenset of nodes`` up to a depth bound.
+
+    Lookup accounting follows cache semantics: a *hit* is any path the
+    index covers (even one reaching nothing -- that is an exact empty
+    answer); a *miss* is a path beyond ``max_depth``, where the caller
+    must fall back to traversal.
+    """
 
     def __init__(self, graph: Graph, max_depth: int = 4) -> None:
         if max_depth < 0:
             raise ValueError("max_depth must be non-negative")
         self._graph = graph
         self.max_depth = max_depth
+        self.hits = 0
+        self.misses = 0
         self._paths: dict[tuple[Label, ...], set[int]] = {(): {graph.root}}
         frontier: deque[tuple[tuple[Label, ...], int]] = deque([((), graph.root)])
         # BFS over (path, node) pairs; paths are truncated at max_depth.
@@ -56,7 +64,9 @@ class PathIndex:
         in-bound path that reaches nothing returns ``frozenset()``.
         """
         if len(path) > self.max_depth:
+            self.misses += 1
             return None
+        self.hits += 1
         return frozenset(self._paths.get(path, ()))
 
     def covers(self, path: tuple[Label, ...]) -> bool:

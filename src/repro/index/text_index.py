@@ -26,9 +26,15 @@ def tokenize(text: str) -> list[str]:
 
 
 class TextIndex:
-    """Inverted index ``word -> edges whose string label contains it``."""
+    """Inverted index ``word -> edges whose string label contains it``.
+
+    Word lookups are hit/miss accounted (hit = the word has postings);
+    the compound AND/OR queries account once per word they probe.
+    """
 
     def __init__(self, graph: Graph) -> None:
+        self.hits = 0
+        self.misses = 0
         self._postings: dict[str, list[Edge]] = {}
         for node in graph.reachable():
             for edge in graph.edges_from(node):
@@ -42,7 +48,12 @@ class TextIndex:
 
     def containing_word(self, word: str) -> tuple[Edge, ...]:
         """All string edges containing ``word`` (case-insensitive)."""
-        return tuple(self._postings.get(word.lower(), ()))
+        postings = self._postings.get(word.lower())
+        if postings is not None:
+            self.hits += 1
+            return tuple(postings)
+        self.misses += 1
+        return ()
 
     def containing_all(self, words: Iterable[str]) -> list[Edge]:
         """Edges whose string contains *every* given word (AND query)."""

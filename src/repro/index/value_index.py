@@ -25,9 +25,15 @@ __all__ = ["ValueIndex"]
 
 
 class ValueIndex:
-    """Sorted + hashed access to every base-data label in a graph."""
+    """Sorted + hashed access to every base-data label in a graph.
+
+    Lookups are hit/miss accounted (hit = at least one edge answered);
+    the counts feed the observability layer's per-query profiles.
+    """
 
     def __init__(self, graph: Graph) -> None:
+        self.hits = 0
+        self.misses = 0
         self._exact: dict[Label, list[Edge]] = {}
         numbers: list[tuple[float, Edge]] = []
         strings: list[tuple[str, Edge]] = []
@@ -48,11 +54,19 @@ class ValueIndex:
         self._string_keys = [k for k, _ in strings]
         self._string_edges = [e for _, e in strings]
 
+    def _account(self, found: bool) -> None:
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+
     # -- exact ----------------------------------------------------------------
 
     def find_exact(self, label: Label) -> tuple[Edge, ...]:
         """All edges whose data label equals ``label`` exactly."""
-        return tuple(self._exact.get(label, ()))
+        edges = self._exact.get(label)
+        self._account(edges is not None)
+        return tuple(edges) if edges is not None else ()
 
     # -- numeric ranges ----------------------------------------------------------
 
@@ -62,12 +76,14 @@ class ValueIndex:
             lo = bisect.bisect_right(self._number_keys, bound)
         else:
             lo = bisect.bisect_left(self._number_keys, bound)
+        self._account(lo < len(self._number_keys))
         yield from self._number_edges[lo:]
 
     def numbers_in_range(self, low: float, high: float) -> Iterator[Edge]:
         """Edges with ``low <= value <= high``."""
         lo = bisect.bisect_left(self._number_keys, low)
         hi = bisect.bisect_right(self._number_keys, high)
+        self._account(lo < hi)
         yield from self._number_edges[lo:hi]
 
     # -- string prefixes -----------------------------------------------------------
@@ -76,12 +92,14 @@ class ValueIndex:
         """Edges whose string label starts with ``prefix``."""
         lo = bisect.bisect_left(self._string_keys, prefix)
         hi = bisect.bisect_left(self._string_keys, prefix + "￿")
+        self._account(lo < hi)
         yield from self._string_edges[lo:hi]
 
     def strings_in_range(self, low: str, high: str) -> Iterator[Edge]:
         """Edges with ``low <= value <= high`` lexicographically."""
         lo = bisect.bisect_left(self._string_keys, low)
         hi = bisect.bisect_right(self._string_keys, high)
+        self._account(lo < hi)
         yield from self._string_edges[lo:hi]
 
     # -- statistics --------------------------------------------------------------

@@ -17,7 +17,13 @@ from __future__ import annotations
 from ..core.oem import OemDatabase
 from .ast import LorelQuery
 from .coerce import compare_values, like_value
-from .evaluator import LorelRuntimeError, evaluate_lorel, lorel_bindings
+from .evaluator import (
+    LorelRuntimeError,
+    evaluate_lorel,
+    evaluate_lorel_profiled,
+    lorel_bindings,
+    lorel_bindings_profiled,
+)
 from .optimizer import clause_cost, reorder_from_clauses
 from .parser import LorelSyntaxError, parse_lorel
 
@@ -26,7 +32,9 @@ __all__ = [
     "lorel_rows",
     "parse_lorel",
     "evaluate_lorel",
+    "evaluate_lorel_profiled",
     "lorel_bindings",
+    "lorel_bindings_profiled",
     "reorder_from_clauses",
     "clause_cost",
     "compare_values",

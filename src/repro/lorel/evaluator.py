@@ -24,6 +24,7 @@ from ..automata.nfa import build_nfa
 from ..automata.regex import PathRegex
 from ..core.labels import sym
 from ..core.oem import OemDatabase, Oid
+from ..obs import QueryProfile
 from .ast import (
     BoolOp,
     Compare,
@@ -36,7 +37,13 @@ from .ast import (
     SelectItem,
 )
 
-__all__ = ["evaluate_lorel", "lorel_bindings", "LorelRuntimeError"]
+__all__ = [
+    "evaluate_lorel",
+    "evaluate_lorel_profiled",
+    "lorel_bindings",
+    "lorel_bindings_profiled",
+    "LorelRuntimeError",
+]
 
 
 class LorelRuntimeError(ValueError):
@@ -67,10 +74,50 @@ def _oem_rpq(db: OemDatabase, start: Oid, dfa: LazyDfa) -> set[Oid]:
     return results
 
 
+def _oem_rpq_profiled(
+    db: OemDatabase, start: Oid, dfa: LazyDfa, profile: QueryProfile
+) -> set[Oid]:
+    """:func:`_oem_rpq` accumulating traversal counts into ``profile``.
+
+    Counts are derived from the explored config set after the traversal
+    (every seen config is expanded exactly once), so the loop itself is
+    the plain one -- the same post-hoc strategy as the RPQ product.
+    """
+    states_before = dfa.num_materialized_states
+    results: set[Oid] = set()
+    seen = {(start, dfa.start)}
+    if dfa.is_accepting(dfa.start):
+        results.add(start)
+    queue = deque([(start, dfa.start)])
+    while queue:
+        oid, state = queue.popleft()
+        obj = db.get(oid)
+        for label, child in obj.children:
+            nxt = dfa.step(state, sym(label))
+            if dfa.is_dead(nxt):
+                continue
+            config = (child, nxt)
+            if config in seen:
+                continue
+            seen.add(config)
+            if dfa.is_accepting(nxt):
+                results.add(child)
+            queue.append(config)
+    visited = {config[0] for config in seen}
+    profile.product_pairs += len(seen)
+    profile.nodes_visited += len(visited)
+    profile.edges_expanded += db.total_fanout(visited)
+    profile.dfa_states += dfa.num_materialized_states - states_before
+    return results
+
+
 class _Runner:
-    def __init__(self, db: OemDatabase, db_name: str) -> None:
+    def __init__(
+        self, db: OemDatabase, db_name: str, profile: "QueryProfile | None" = None
+    ) -> None:
         self.db = db
         self.db_name = db_name
+        self.profile = profile
         self._dfas: dict[str, LazyDfa] = {}
 
     def dfa_of(self, path: PathRegex, text: str) -> LazyDfa:
@@ -78,6 +125,9 @@ class _Runner:
         if dfa is None:
             dfa = LazyDfa(build_nfa(path))
             self._dfas[text] = dfa
+            if self.profile is not None:
+                # the fresh compile's start state is work this query did
+                self.profile.dfa_states += dfa.num_materialized_states
         return dfa
 
     def start_of(self, base: str, env: dict[str, Oid]) -> Oid:
@@ -91,7 +141,10 @@ class _Runner:
         start = self.start_of(operand.base, env)
         if operand.path is None:
             return {start}
-        return _oem_rpq(self.db, start, self.dfa_of(operand.path, operand.path_text))
+        dfa = self.dfa_of(operand.path, operand.path_text)
+        if self.profile is not None:
+            return _oem_rpq_profiled(self.db, start, dfa, self.profile)
+        return _oem_rpq(self.db, start, dfa)
 
     # -- where ----------------------------------------------------------------
 
@@ -146,11 +199,8 @@ class _Complex:
 _COMPLEX = _Complex()
 
 
-def lorel_bindings(
-    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
-) -> list[dict[str, Oid]]:
-    """The alias environments the from/where clauses produce."""
-    runner = _Runner(db, db_name)
+def _bindings_with_runner(query: LorelQuery, runner: _Runner) -> list[dict[str, Oid]]:
+    """The from/where core, against an existing runner (shared dfa cache)."""
     envs: list[dict[str, Oid]] = [{}]
     for clause in query.from_clauses:
         nxt: list[dict[str, Oid]] = []
@@ -168,12 +218,37 @@ def lorel_bindings(
     return envs
 
 
-def evaluate_lorel(
+def lorel_bindings(
     query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+) -> list[dict[str, Oid]]:
+    """The alias environments the from/where clauses produce."""
+    return _bindings_with_runner(query, _Runner(db, db_name))
+
+
+def lorel_bindings_profiled(
+    query: LorelQuery,
+    db: OemDatabase,
+    db_name: str = "DB",
+    *,
+    query_text: str = "",
+) -> tuple[list[dict[str, Oid]], QueryProfile]:
+    """:func:`lorel_bindings` plus a :class:`~repro.obs.QueryProfile`.
+
+    Counts cover every OEM product traversal the from/where clauses ran
+    (objects visited, child edges scanned, configurations explored, DFA
+    states materialized) and the environments produced.
+    """
+    profile = QueryProfile(engine="lorel", query=query_text)
+    envs = _bindings_with_runner(query, _Runner(db, db_name, profile))
+    profile.bindings_produced = len(envs)
+    profile.results = len(envs)
+    return envs, profile
+
+
+def _construct_answer(
+    query: LorelQuery, db: OemDatabase, runner: _Runner, envs: list[dict[str, Oid]]
 ) -> OemDatabase:
-    """Run a parsed query; the result is an OEM database named ``Answer``."""
-    runner = _Runner(db, db_name)
-    envs = lorel_bindings(query, db, db_name)
+    """Build the ``Answer`` database: one row object per environment."""
     answer = OemDatabase()
     answer_root = answer.new_complex()
     answer.set_name("Answer", answer_root)
@@ -201,6 +276,50 @@ def evaluate_lorel(
             for oid in sorted(runner.path_targets(item.operand, env)):
                 answer.add_child(row, label, copy_into(oid))
     return answer
+
+
+def evaluate_lorel(
+    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+) -> OemDatabase:
+    """Run a parsed query; the result is an OEM database named ``Answer``."""
+    runner = _Runner(db, db_name)
+    envs = _bindings_with_runner(query, runner)
+    return _construct_answer(query, db, runner, envs)
+
+
+def evaluate_lorel_profiled(
+    query: LorelQuery,
+    db: OemDatabase,
+    db_name: str = "DB",
+    *,
+    query_text: str = "",
+    tracer=None,
+) -> tuple[OemDatabase, QueryProfile]:
+    """:func:`evaluate_lorel` plus a :class:`~repro.obs.QueryProfile`.
+
+    One profile covers both phases: the from/where binding traversals
+    and the select items' path evaluations during answer construction.
+    ``bindings_produced`` is the surviving environment count,
+    ``results`` the number of answer rows; both are deterministic for a
+    fixed query and database (the golden-profile suite asserts so).
+    """
+    profile = QueryProfile(engine="lorel", query=query_text)
+    runner = _Runner(db, db_name, profile)
+
+    def run() -> OemDatabase:
+        envs = _bindings_with_runner(query, runner)
+        profile.bindings_produced = len(envs)
+        answer = _construct_answer(query, db, runner, envs)
+        profile.results = len(envs)
+        return answer
+
+    if tracer is not None:
+        with tracer.span("lorel", query=query_text) as span:
+            answer = run()
+            span.annotate(rows=profile.results)
+    else:
+        answer = run()
+    return answer, profile
 
 
 def _item_label(item: SelectItem) -> str:

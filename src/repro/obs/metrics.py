@@ -1,0 +1,191 @@
+"""Counters, gauges, and fixed-bucket histograms behind one registry.
+
+The observability layer's numeric surface.  Three deliberately boring
+instrument kinds -- the same trio every production metrics system settles
+on -- with none of the label-cardinality machinery a hosted system needs:
+
+* :class:`Counter` -- a monotonically increasing count (edges expanded,
+  bytes serialized);
+* :class:`Gauge` -- a last-write-wins level (current cache size);
+* :class:`Histogram` -- observations bucketed against a *fixed* bound
+  vector chosen at creation, so two runs of the same workload produce
+  identical bucket counts and tests can assert on them exactly.
+
+:class:`MetricsRegistry` is the get-or-create namespace.  Everything is
+plain Python ints/floats -- no background threads, no clocks, no I/O --
+which is what keeps always-on accounting (the index hit/miss counters,
+the storage byte counters) cheap enough to never turn off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bounds: powers of ten from 1 to 1e6 (operation counts).
+DEFAULT_BUCKETS: tuple[float, ...] = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A level that can move both ways; reads back the last value set."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """Observations bucketed against a fixed, sorted bound vector.
+
+    Bucket ``i`` counts observations ``<= bounds[i]``; one overflow bucket
+    counts the rest.  ``sum(counts) == total`` always (the invariant the
+    property tests pin down), and because the bounds never move after
+    construction, the same observation stream always yields the same
+    bucket counts.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation in its bucket."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def bucket_for(self, value: float) -> int:
+        """The bucket index a value falls into (last = overflow)."""
+        return bisect.bisect_left(self.bounds, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<histogram {self.name} n={self.total} mean={self.mean:g}>"
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for counters, gauges, and histograms.
+
+    Asking for the same name twice returns the same instrument; asking for
+    a name already registered as a *different* kind is an error (silent
+    shadowing would corrupt dashboards).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ValueError(f"{name!r} is already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``bounds`` only matters on the creating call; later calls must not
+        disagree with the registered bound vector.
+        """
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, bounds)
+        elif tuple(float(b) for b in bounds) != h.bounds and bounds is not DEFAULT_BUCKETS:
+            raise ValueError(f"histogram {name!r} already exists with bounds {h.bounds}")
+        return h
+
+    def names(self) -> Iterator[str]:
+        yield from sorted({*self._counters, *self._gauges, *self._histograms})
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain JSON-ready snapshot of every instrument."""
+        out: dict[str, object] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.value
+        for name, h in sorted(self._histograms.items()):
+            out[name] = {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "total": h.total,
+                "sum": h.sum,
+            }
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in place (tests snapshot across sections)."""
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h.counts = [0] * (len(h.bounds) + 1)
+            h.total = 0
+            h.sum = 0.0

@@ -1,0 +1,146 @@
+"""Nested tracing spans over an injectable clock.
+
+A :class:`Tracer` hands out :meth:`~Tracer.span` context managers; the
+spans that open inside an open span become its children, so one query
+produces a tree mirroring the call structure (``unql`` -> ``rpq`` ->
+``dfa``).  Timing comes from the same :class:`~repro.resilience.clock.
+Clock` protocol the resilience layer uses -- pass a
+:class:`~repro.resilience.clock.SimulatedClock` and every duration in the
+tree is exact and reproducible, which is how the span tests assert
+well-nestedness (child intervals lie within their parent's) without
+sleeping.
+
+The resilience :class:`~repro.resilience.events.EventLog` plugs into the
+same stream: :meth:`Tracer.event_log` builds a log whose ``emit`` also
+attaches each event to the currently open span, so a retry storm shows up
+*inside* the query span that suffered it rather than in a disconnected
+side channel.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..resilience.clock import Clock, WallClock
+from ..resilience.events import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.events import Event
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed operation: name, interval, attributes, children, events."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list["Event"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock time; 0.0 while the span is still open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **attributes: Any) -> "Span":
+        """Attach key/value attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendants (including self) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration:g}s" if self.closed else "open"
+        return f"<span {self.name} {state} children={len(self.children)}>"
+
+
+class Tracer:
+    """Builds trees of timed spans; deterministic under a simulated clock.
+
+    ``with tracer.span("rpq", pattern=p):`` opens a span, nests everything
+    opened inside it, and closes it on exit (also on exception -- a span
+    that raises still gets an end time plus an ``error`` attribute).
+    Completed top-level spans accumulate in :attr:`roots`.
+    """
+
+    def __init__(self, clock: "Clock | None" = None) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.roots: list[Span] = []
+        #: events emitted while no span was open (kept, not lost)
+        self.orphan_events: list["Event"] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> "Span | None":
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        span = Span(name, start=self.clock.now(), attributes=dict(attributes))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attributes.setdefault("error", repr(exc))
+            raise
+        finally:
+            span.end = self.clock.now()
+            self._stack.pop()
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span (no-op outside one)."""
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    # -- the unified event stream ---------------------------------------------
+
+    def record_event(self, event: "Event") -> None:
+        """Attach a structured event to the innermost open span."""
+        if self._stack:
+            self._stack[-1].events.append(event)
+        else:
+            self.orphan_events.append(event)
+
+    def event_log(self) -> EventLog:
+        """An EventLog sharing this tracer's clock whose emissions also
+        land on the currently open span -- the bridge that unifies the
+        resilience event stream with the trace tree."""
+        return EventLog(clock=self.clock, sink=self.record_event)
+
+    # -- queries over finished traces -------------------------------------------
+
+    def all_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All recorded spans with the given name."""
+        return [s for s in self.all_spans() if s.name == name]
+
+    def total_events(self) -> int:
+        return len(self.orphan_events) + sum(len(s.events) for s in self.all_spans())

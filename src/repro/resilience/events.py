@@ -23,7 +23,7 @@ Well-known kinds emitted by this package::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from .clock import Clock
 
@@ -48,15 +48,23 @@ class Event:
 
 @dataclass
 class EventLog:
-    """Append-only structured log; cheap enough to leave on everywhere."""
+    """Append-only structured log; cheap enough to leave on everywhere.
+
+    ``sink``, when set, receives every emitted event as well -- this is
+    how :meth:`repro.obs.Tracer.event_log` pulls resilience events into
+    the span currently open, unifying both observability streams.
+    """
 
     clock: "Clock | None" = None
     events: list[Event] = field(default_factory=list)
+    sink: "Callable[[Event], None] | None" = None
 
     def emit(self, kind: str, **fields: Any) -> Event:
         at = self.clock.now() if self.clock is not None else 0.0
         event = Event(kind, at, fields)
         self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def of_kind(self, kind: str) -> Iterator[Event]:

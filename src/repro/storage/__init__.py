@@ -1,13 +1,14 @@
 """Persistent storage for semistructured data (section 4)."""
 
 from .external import EXTERNAL_MARKER, ExternalGraph
-from .serializer import SerializationError, dumps, loads
+from .serializer import STORAGE_METRICS, SerializationError, dumps, loads
 from .store import GraphStore, PageCache, traversal_page_faults
 
 __all__ = [
     "dumps",
     "loads",
     "SerializationError",
+    "STORAGE_METRICS",
     "GraphStore",
     "PageCache",
     "traversal_page_faults",

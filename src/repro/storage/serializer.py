@@ -24,8 +24,14 @@ import struct
 
 from ..core.graph import Graph
 from ..core.labels import Label, LabelKind
+from ..obs import MetricsRegistry
 
-__all__ = ["dumps", "loads", "serialize_node_record", "SerializationError"]
+__all__ = ["dumps", "loads", "serialize_node_record", "SerializationError", "STORAGE_METRICS"]
+
+#: Always-on storage traffic accounting: graphs and bytes through
+#: dumps/loads.  Observability tests snapshot and reset it; the CLI's
+#: ``stats --json`` reports it.
+STORAGE_METRICS = MetricsRegistry()
 
 _MAGIC = b"SSD1"
 
@@ -130,6 +136,8 @@ def dumps(graph: Graph) -> bytes:
         for edge in edges:
             _write_label(out, edge.label)
             _write_varint(out, renumber[edge.dst])
+    STORAGE_METRICS.counter("graphs_serialized").inc()
+    STORAGE_METRICS.counter("bytes_serialized").inc(len(out))
     return bytes(out)
 
 
@@ -179,6 +187,8 @@ def loads(data: bytes) -> Graph:
             g.add_edge(node, label, nodes[dst])
     if pos != len(data):
         raise SerializationError("trailing bytes after graph")
+    STORAGE_METRICS.counter("graphs_loaded").inc()
+    STORAGE_METRICS.counter("bytes_loaded").inc(len(data))
     return g
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from ..core.graph import Graph
 from ..index import GraphIndexes
 from .ast import Query
-from .evaluator import UnqlRuntimeError, evaluate_query
+from .evaluator import UnqlRuntimeError, evaluate_query, evaluate_query_profiled
 from .optimizer import evaluate_with_indexes, fixed_path_of, query_is_prunable
 from .parser import UnqlSyntaxError, parse_query
 from .restructure import (
@@ -46,6 +46,7 @@ __all__ = [
     "unql",
     "parse_query",
     "evaluate_query",
+    "evaluate_query_profiled",
     "evaluate_with_indexes",
     "Query",
     "UnqlSyntaxError",

@@ -19,9 +19,10 @@ import fnmatch
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
-from ..automata.product import compile_rpq, rpq_nodes
+from ..automata.product import compile_rpq, rpq_nodes, rpq_nodes_profiled
 from ..core.graph import Graph
 from ..core.labels import Label, LabelKind
+from ..obs import QueryProfile
 from .ast import (
     Binding,
     Comparison,
@@ -42,7 +43,13 @@ from .ast import (
     TypeCheck,
 )
 
-__all__ = ["evaluate_query", "query_bindings", "UnqlRuntimeError", "Bindings"]
+__all__ = [
+    "evaluate_query",
+    "evaluate_query_profiled",
+    "query_bindings",
+    "UnqlRuntimeError",
+    "Bindings",
+]
 
 
 class UnqlRuntimeError(ValueError):
@@ -79,6 +86,45 @@ def evaluate_query(query: Query, sources: Mapping[str, Graph]) -> Graph:
     return result
 
 
+def evaluate_query_profiled(
+    query: Query,
+    sources: Mapping[str, Graph],
+    *,
+    query_text: str = "",
+    tracer=None,
+) -> tuple[Graph, QueryProfile]:
+    """:func:`evaluate_query` plus a :class:`~repro.obs.QueryProfile`.
+
+    Counts accumulate over every pattern-matching sub-operation: the RPQ
+    products run for regex edges, the one-step scans for label-variable
+    edges, and the binding environments that survive the conditions.
+    ``results`` is the number of construct pieces grafted under the
+    answer root.  Counts are deterministic for a fixed query and
+    database (asserted by the golden-profile suite).
+    """
+    profile = QueryProfile(engine="unql", query=query_text)
+
+    def run() -> Graph:
+        result = Graph.empty()
+        root = result.root
+        for env in _environments(query, sources, profile=profile):
+            profile.bindings_produced += 1
+            piece = _build_construct(query.construct, env)
+            mapping = result._absorb(piece)
+            for edge in piece.edges_from(piece.root):
+                result.add_edge(root, edge.label, mapping[edge.dst])
+                profile.results += 1
+        return result
+
+    if tracer is not None:
+        with tracer.span("unql", query=query_text) as span:
+            result = run()
+            span.annotate(bindings=profile.bindings_produced, results=profile.results)
+    else:
+        result = run()
+    return result, profile
+
+
 def query_bindings(
     query: Query, sources: Mapping[str, Graph]
 ) -> list[dict[str, object]]:
@@ -99,14 +145,16 @@ def query_bindings(
 
 
 def _environments(
-    query: Query, sources: Mapping[str, Graph]
+    query: Query,
+    sources: Mapping[str, Graph],
+    profile: "QueryProfile | None" = None,
 ) -> Iterator[dict[str, object]]:
     envs: list[dict[str, object]] = [{}]
     for binding in query.bindings:
         envs = [
             extended
             for env in envs
-            for extended in _match_binding(binding, env, sources)
+            for extended in _match_binding(binding, env, sources, profile)
         ]
         if not envs:
             return
@@ -116,7 +164,10 @@ def _environments(
 
 
 def _match_binding(
-    binding: Binding, env: dict[str, object], sources: Mapping[str, Graph]
+    binding: Binding,
+    env: dict[str, object],
+    sources: Mapping[str, Graph],
+    profile: "QueryProfile | None" = None,
 ) -> Iterator[dict[str, object]]:
     if binding.source_is_var:
         bound = env.get(binding.source)
@@ -133,11 +184,15 @@ def _match_binding(
                 f"no database named {binding.source!r} was supplied"
             ) from None
         node = graph.root
-    yield from _match_pattern(binding.pattern, graph, node, env)
+    yield from _match_pattern(binding.pattern, graph, node, env, profile)
 
 
 def _match_pattern(
-    pattern: Pattern, graph: Graph, node: int, env: dict[str, object]
+    pattern: Pattern,
+    graph: Graph,
+    node: int,
+    env: dict[str, object],
+    profile: "QueryProfile | None" = None,
 ) -> Iterator[dict[str, object]]:
     """All extensions of ``env`` under which ``pattern`` matches at ``node``."""
     envs = [env]
@@ -151,27 +206,42 @@ def _match_pattern(
             if precomputed is None and isinstance(member.edge, RegexEdge)
             else None
         )
+        if profile is not None and dfa is not None:
+            # a fresh compile: its start state is work this query did
+            profile.dfa_states += dfa.num_materialized_states
         for current in envs:
             if precomputed is not None:
+                if profile is not None:
+                    profile.index_hits += 1
                 for target_node in sorted(precomputed):
                     next_envs.extend(
-                        _match_target(member.target, graph, target_node, current)
+                        _match_target(member.target, graph, target_node, current, profile)
                     )
             elif dfa is not None:
-                for target_node in sorted(rpq_nodes(graph, dfa, start=node)):
+                if profile is None:
+                    targets = rpq_nodes(graph, dfa, start=node)
+                else:
+                    targets, _ = rpq_nodes_profiled(
+                        graph, dfa, start=node, profile=profile
+                    )
+                for target_node in sorted(targets):
                     next_envs.extend(
-                        _match_target(member.target, graph, target_node, current)
+                        _match_target(member.target, graph, target_node, current, profile)
                     )
             else:  # label variable edge: one step, binding the label
                 var = member.edge.var
-                for edge in graph.edges_from(node):
+                out_edges = graph.edges_from(node)
+                if profile is not None:
+                    profile.nodes_visited += 1
+                    profile.edges_expanded += len(out_edges)
+                for edge in out_edges:
                     bound = current.get(var)
                     if bound is not None and bound != edge.label:
                         continue
                     extended = dict(current)
                     extended[var] = edge.label
                     next_envs.extend(
-                        _match_target(member.target, graph, edge.dst, extended)
+                        _match_target(member.target, graph, edge.dst, extended, profile)
                     )
         envs = next_envs
         if not envs:
@@ -180,7 +250,11 @@ def _match_pattern(
 
 
 def _match_target(
-    target, graph: Graph, node: int, env: dict[str, object]
+    target,
+    graph: Graph,
+    node: int,
+    env: dict[str, object],
+    profile: "QueryProfile | None" = None,
 ) -> Iterator[dict[str, object]]:
     if isinstance(target, TreeVar):
         bound = env.get(target.var)
@@ -203,7 +277,7 @@ def _match_target(
             yield env
         return
     if isinstance(target, NestedPattern):
-        yield from _match_pattern(target.pattern, graph, node, env)
+        yield from _match_pattern(target.pattern, graph, node, env, profile)
         return
     raise UnqlRuntimeError(f"unknown target {target!r}")
 

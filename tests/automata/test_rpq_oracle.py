@@ -1,0 +1,84 @@
+"""Randomized oracle: the product construction vs. naive path enumeration.
+
+:func:`~repro.automata.product.naive_rpq` answers a regular path query by
+enumerating label paths and testing each against the NFA -- slow, but
+simple enough to trust.  Over seeded random graphs (cycles included) and
+a pool of regex patterns, the product construction must agree with it:
+
+* **soundness of the bound**: every node the naive evaluation finds
+  within its length bound is in the product answer (always, for any
+  bound);
+* **exact agreement**: when the bound covers the longest *shortest*
+  witness (computed from :func:`~repro.automata.product.rpq_witnesses`),
+  the two answers are set-equal.
+
+The graphs are small (<= 8 nodes, <= 12 edges) and the bound is capped,
+so the exponential baseline stays fast; the seeds are fixed, so a failure
+reproduces exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.product import naive_rpq, rpq_nodes, rpq_witnesses
+from repro.core.graph import Graph
+
+#: enumeration depth the naive baseline can afford on branchy graphs
+MAX_BOUND = 12
+
+PATTERNS = [
+    "a",
+    "a.b",
+    "a|b",
+    "a*",
+    "(a|b)*",
+    "a.(b|c)*",
+    "(a.b)*.c",
+    "_.a",
+    "_*.c",
+    "a?.b+",
+    "(!a)*.c",
+]
+
+
+def random_graph(rng: random.Random) -> Graph:
+    g = Graph()
+    nodes = [g.new_node() for _ in range(rng.randint(1, 8))]
+    g.set_root(nodes[0])
+    for _ in range(rng.randint(0, 12)):
+        g.add_edge(
+            rng.choice(nodes), rng.choice(["a", "b", "c"]), rng.choice(nodes)
+        )
+    return g
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_product_agrees_with_naive_enumeration(seed):
+    rng = random.Random(seed)
+    graph = random_graph(rng)
+    for pattern in PATTERNS:
+        product = rpq_nodes(graph, pattern)
+        witnesses = rpq_witnesses(graph, pattern)
+        assert set(witnesses) == product  # witnesses cover exactly the answer
+        longest = max((len(path) for path in witnesses.values()), default=0)
+        if longest > MAX_BOUND:
+            continue  # the baseline cannot afford this case; skip, don't weaken
+        naive = naive_rpq(graph, pattern, max_length=max(longest, 1))
+        assert naive == product, (
+            f"seed={seed} pattern={pattern!r}: naive={sorted(naive)} "
+            f"product={sorted(product)}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(40, 60))
+def test_naive_is_a_lower_bound_for_any_length(seed):
+    rng = random.Random(seed)
+    graph = random_graph(rng)
+    pattern = rng.choice(PATTERNS)
+    bound = rng.randint(0, 4)
+    naive = naive_rpq(graph, pattern, max_length=bound)
+    assert naive <= rpq_nodes(graph, pattern), (
+        f"seed={seed} pattern={pattern!r} bound={bound}: naive found a node "
+        "the product construction missed"
+    )

@@ -1,0 +1,160 @@
+"""Index observability: hit/miss accounting, staleness, index-vs-scan agreement.
+
+The hit/miss counters are always on (plain integer adds), so queries can
+report how much of their work the physical design answered.  These tests
+pin the accounting semantics per index, the documented staleness behavior
+after graph mutation (and ``refresh()`` as the way back), and -- the part
+that makes the counters trustworthy -- that indexed answers agree with a
+naive scan of the same graph.
+"""
+
+import pytest
+
+from repro.core.labels import LabelKind, label_of, sym
+from repro.datasets import figure1
+from repro.index import GraphIndexes, LabelIndex, PathIndex, TextIndex, ValueIndex
+
+
+@pytest.fixture
+def graph():
+    return figure1()
+
+
+class TestLabelIndexAccounting:
+    def test_hit_and_miss(self, graph):
+        idx = LabelIndex(graph)
+        assert idx.edges_with_label(sym("Movie"))
+        assert idx.hits == 1 and idx.misses == 0
+        assert idx.edges_with_label(sym("NoSuchLabel")) == ()
+        assert idx.hits == 1 and idx.misses == 1
+
+    def test_all_lookup_methods_account(self, graph):
+        idx = LabelIndex(graph)
+        idx.sources_with_label(sym("Movie"))
+        idx.targets_of_label(sym("Movie"))
+        idx.symbols_matching("Mov*")
+        assert idx.hits == 3 and idx.misses == 0
+        idx.symbols_matching("zzz*")  # matches nothing: a miss
+        assert idx.misses == 1
+
+    def test_agrees_with_scan(self, graph):
+        idx = LabelIndex(graph)
+        for label in set(e.label for e in graph.edges()):
+            scan = [e for e in graph.edges() if e.label == label]
+            assert sorted(map(repr, idx.edges_with_label(label))) == sorted(map(repr, scan))
+            assert idx.sources_with_label(label) == {e.src for e in scan}
+            assert idx.targets_of_label(label) == {e.dst for e in scan}
+
+
+class TestValueIndexAccounting:
+    def test_exact_hit_and_miss(self, graph):
+        idx = ValueIndex(graph)
+        assert idx.find_exact(label_of("Casablanca"))
+        assert (idx.hits, idx.misses) == (1, 0)
+        assert idx.find_exact(label_of("No Such Movie")) == ()
+        assert (idx.hits, idx.misses) == (1, 1)
+
+    def test_range_queries_account_on_iteration(self, graph):
+        idx = ValueIndex(graph)
+        # generators account lazily: consuming the iterator does the lookup
+        assert list(idx.numbers_greater_than(0))
+        assert (idx.hits, idx.misses) == (1, 0)
+        assert not list(idx.numbers_greater_than(10**9))
+        assert (idx.hits, idx.misses) == (1, 1)
+        assert list(idx.strings_with_prefix("Casa"))
+        assert not list(idx.strings_with_prefix("\x00impossible"))
+        assert (idx.hits, idx.misses) == (2, 2)
+
+    def test_agrees_with_scan(self, graph):
+        idx = ValueIndex(graph)
+        scan = sorted(
+            e.label.value
+            for e in graph.edges()
+            if e.label.kind in (LabelKind.INT, LabelKind.REAL) and e.label.value > 1
+        )
+        assert sorted(e.label.value for e in idx.numbers_greater_than(1)) == scan
+
+
+class TestTextIndexAccounting:
+    def test_word_hit_and_miss(self, graph):
+        idx = TextIndex(graph)
+        assert idx.containing_word("casablanca")
+        assert (idx.hits, idx.misses) == (1, 0)
+        assert idx.containing_word("xyzzy") == ()
+        assert (idx.hits, idx.misses) == (1, 1)
+
+    def test_agrees_with_scan(self, graph):
+        idx = TextIndex(graph)
+        scan = [
+            e
+            for e in graph.edges()
+            if e.label.kind is LabelKind.STRING and "allen" in str(e.label.value).lower()
+        ]
+        assert {repr(e) for e in idx.containing_word("Allen")} == {repr(e) for e in scan}
+
+
+class TestPathIndexAccounting:
+    def test_cache_semantics(self, graph):
+        idx = PathIndex(graph, max_depth=2)
+        path = (sym("Entry"), sym("Movie"))
+        assert idx.lookup(path)
+        assert (idx.hits, idx.misses) == (1, 0)
+        # covered path with no matches is still a HIT: the index answered
+        assert idx.lookup((sym("Nope"),)) == frozenset()
+        assert (idx.hits, idx.misses) == (2, 0)
+        # beyond max_depth the index cannot answer: a miss, and None
+        assert idx.lookup((sym("a"),) * 3) is None
+        assert (idx.hits, idx.misses) == (2, 1)
+
+    def test_agrees_with_traversal(self, graph):
+        idx = PathIndex(graph, max_depth=3)
+        path = (sym("Entry"), sym("Movie"), sym("Title"))
+        expected = set()
+        frontier = {graph.root}
+        for label in path:
+            frontier = {
+                e.dst for n in frontier for e in graph.edges_from(n) if e.label == label
+            }
+        expected = frontier
+        assert idx.lookup(path) == expected
+
+
+class TestGraphIndexesBundle:
+    def test_accounting_reports_only_built_indexes(self, graph):
+        indexes = GraphIndexes(graph)
+        assert indexes.accounting() == {}
+        indexes.label.edges_with_label(sym("Movie"))
+        assert indexes.accounting() == {"label": {"hits": 1, "misses": 0}}
+        assert indexes.total_hits == 1 and indexes.total_misses == 0
+
+    def test_reset_accounting(self, graph):
+        indexes = GraphIndexes(graph)
+        indexes.label.edges_with_label(sym("Movie"))
+        indexes.text.containing_word("xyzzy")
+        assert indexes.total_hits == 1 and indexes.total_misses == 1
+        indexes.reset_accounting()
+        assert indexes.total_hits == 0 and indexes.total_misses == 0
+        # same index objects, just zeroed counters
+        assert indexes.accounting() == {
+            "label": {"hits": 0, "misses": 0},
+            "text": {"hits": 0, "misses": 0},
+        }
+
+    def test_indexes_are_stale_after_mutation_until_refresh(self, graph):
+        indexes = GraphIndexes(graph)
+        fresh_label = sym("BrandNew")
+        assert indexes.label.edges_with_label(fresh_label) == ()
+        graph.add_edge(graph.root, fresh_label, graph.new_node())
+        # documented staleness: the built index still answers from its snapshot
+        assert indexes.label.edges_with_label(fresh_label) == ()
+        stale = indexes.label
+        indexes.refresh()
+        assert indexes.label is not stale  # rebuilt on next access
+        assert len(indexes.label.edges_with_label(fresh_label)) == 1
+
+    def test_refresh_resets_accounting_with_the_index(self, graph):
+        indexes = GraphIndexes(graph)
+        indexes.label.edges_with_label(sym("Movie"))
+        indexes.refresh()
+        assert indexes.accounting() == {}  # nothing built, nothing to report
+        assert indexes.total_hits == 0

@@ -1,0 +1,132 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("edges")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        c = Counter("edges")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_zero_increment_is_allowed(self):
+        c = Counter("edges")
+        c.inc(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("cache_size")
+        g.set(10)
+        assert g.value == 10.0
+        g.add(-3)
+        assert g.value == 7.0
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_bucketing_against_bounds(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0, 1, 2, 10, 50, 1000):
+            h.observe(v)
+        # <=1: {0, 1}; <=10: {2, 10}; <=100: {50}; overflow: {1000}
+        assert h.counts == [2, 2, 1, 1]
+        assert h.total == 6
+        assert h.sum == 1063.0
+
+    def test_counts_sum_to_total(self):
+        h = Histogram("lat")
+        for v in range(0, 2_000_000, 99_999):
+            h.observe(v)
+        assert sum(h.counts) == h.total
+
+    def test_mean(self):
+        h = Histogram("lat", bounds=(10,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_bucket_for_boundary_values(self):
+        h = Histogram("lat", bounds=(1, 10))
+        assert h.bucket_for(1) == 0  # bounds are inclusive upper edges
+        assert h.bucket_for(1.5) == 1
+        assert h.bucket_for(10) == 1
+        assert h.bucket_for(10.5) == 2  # overflow
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1, 2))
+
+    def test_default_buckets_are_powers_of_ten(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] == 1_000_000.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_kind_collision_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_histogram_bound_disagreement_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1, 2))
+        reg.histogram("h", bounds=(1, 2))  # agreeing is fine
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("h", bounds=(1, 2, 3))
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("level").set(1.5)
+        reg.histogram("sizes", bounds=(10,)).observe(5)
+        snap = reg.as_dict()
+        assert snap["hits"] == 3
+        assert snap["level"] == 1.5
+        assert snap["sizes"] == {"bounds": [10.0], "counts": [1, 0], "total": 1, "sum": 5.0}
+
+    def test_reset_zeroes_everything_in_place(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc(3)
+        h = reg.histogram("sizes", bounds=(10,))
+        h.observe(5)
+        reg.reset()
+        assert c.value == 0
+        assert h.counts == [0, 0] and h.total == 0 and h.sum == 0.0
+        # instruments survive a reset (same identity, new values)
+        assert reg.counter("hits") is c
+
+    def test_names_sorted_across_kinds(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("c")
+        reg.histogram("a")
+        assert list(reg.names()) == ["a", "b", "c"]

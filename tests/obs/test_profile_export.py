@@ -1,0 +1,92 @@
+"""QueryProfile contract and the JSON exporter."""
+
+import json
+
+from repro.obs import QueryProfile, Tracer
+from repro.obs.export import (
+    metrics_to_dict,
+    profile_to_dict,
+    span_to_dict,
+    to_json,
+    write_bench,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import SimulatedClock
+
+
+class TestQueryProfile:
+    def test_defaults_are_empty_and_complete(self):
+        p = QueryProfile(engine="rpq", query="a.b")
+        assert p.complete
+        assert p.results == 0
+        assert p.extras == {}
+
+    def test_merge_sums_counts_and_ands_complete(self):
+        a = QueryProfile(nodes_visited=3, results=1, extras={"x": 1})
+        b = QueryProfile(nodes_visited=4, results=2, complete=False, extras={"x": 2, "y": 5})
+        out = a.merge(b)
+        assert out is a
+        assert a.nodes_visited == 7
+        assert a.results == 3
+        assert not a.complete
+        assert a.extras == {"x": 3, "y": 5}
+
+    def test_as_dict_field_order_is_stable(self):
+        keys = list(QueryProfile().as_dict())
+        assert keys[:2] == ["engine", "query"]
+        assert keys[-2:] == ["complete", "extras"]
+        # the count fields keep their declared order (golden-file diffs rely on it)
+        assert keys.index("nodes_visited") < keys.index("edges_expanded") < keys.index("results")
+
+    def test_as_dict_sorts_extras(self):
+        p = QueryProfile(extras={"b": 2, "a": 1})
+        assert list(p.as_dict()["extras"]) == ["a", "b"]
+
+
+class TestExport:
+    def test_profile_to_dict_matches_as_dict(self):
+        p = QueryProfile(engine="rpq", nodes_visited=5)
+        assert profile_to_dict(p) == p.as_dict()
+
+    def test_span_to_dict_round_trips_through_json(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock=clock)
+        log = tracer.event_log()
+        with tracer.span("query", engine="unql"):
+            clock.advance(1.0)
+            log.emit("retry", key="site:0")
+            with tracer.span("rpq"):
+                clock.advance(0.5)
+        d = span_to_dict(tracer.roots[0])
+        parsed = json.loads(to_json(d))
+        assert parsed["name"] == "query"
+        assert parsed["duration"] == 1.5
+        assert parsed["attributes"] == {"engine": "unql"}
+        assert parsed["events"][0]["kind"] == "retry"
+        assert parsed["children"][0]["name"] == "rpq"
+
+    def test_span_to_dict_stringifies_non_json_attributes(self):
+        tracer = Tracer(clock=SimulatedClock())
+        with tracer.span("q", pattern=object()) as span:
+            pass
+        d = span_to_dict(span)
+        assert isinstance(d["attributes"]["pattern"], str)
+
+    def test_metrics_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        assert metrics_to_dict(reg) == {"hits": 2}
+
+    def test_to_json_is_canonical(self):
+        text = to_json({"b": 1, "a": 2})
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_write_bench_creates_file_in_fresh_directory(self, tmp_path):
+        out = tmp_path / "bench" / "out"
+        payload = {"timings": {"rpq": 0.001}, "profiles": {"rpq": QueryProfile().as_dict()}}
+        path = write_bench("e2_rpq", payload, out)
+        assert path == out / "BENCH_e2_rpq.json"
+        parsed = json.loads(path.read_text())
+        assert parsed["timings"]["rpq"] == 0.001
+        assert parsed["profiles"]["rpq"]["complete"] is True

@@ -1,0 +1,119 @@
+"""Tracer tests: nesting, timing under a simulated clock, event bridging."""
+
+import pytest
+
+from repro.obs import Span, Tracer
+from repro.resilience import SimulatedClock
+
+
+def make() -> "tuple[Tracer, SimulatedClock]":
+    clock = SimulatedClock()
+    return Tracer(clock=clock), clock
+
+
+class TestSpanTree:
+    def test_nested_spans_form_a_tree(self):
+        tracer, _ = make()
+        with tracer.span("query") as outer:
+            with tracer.span("rpq") as inner:
+                with tracer.span("dfa"):
+                    pass
+            with tracer.span("construct"):
+                pass
+        assert tracer.roots == [outer]
+        assert [c.name for c in outer.children] == ["rpq", "construct"]
+        assert [c.name for c in inner.children] == ["dfa"]
+
+    def test_sibling_roots_accumulate(self):
+        tracer, _ = make()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_durations_are_exact_under_simulated_clock(self):
+        tracer, clock = make()
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(2.0)
+            clock.advance(0.5)
+        outer = tracer.roots[0]
+        assert outer.duration == pytest.approx(3.5)
+        assert inner.duration == pytest.approx(2.0)
+        # well-nested: the child interval lies within the parent's
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_exception_still_closes_span_and_marks_error(self):
+        tracer, _ = make()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.closed
+        assert "boom" in span.attributes["error"]
+        assert tracer.current is None  # stack unwound
+
+    def test_open_span_reports_zero_duration(self):
+        span = Span("open", start=1.0)
+        assert not span.closed
+        assert span.duration == 0.0
+
+    def test_annotate_on_current_span(self):
+        tracer, _ = make()
+        with tracer.span("q") as span:
+            tracer.annotate(rows=3)
+            span.annotate(engine="unql")
+        assert span.attributes == {"rows": 3, "engine": "unql"}
+        tracer.annotate(ignored=True)  # no open span: a documented no-op
+
+    def test_walk_and_find(self):
+        tracer, _ = make()
+        with tracer.span("query"):
+            with tracer.span("rpq"):
+                pass
+            with tracer.span("rpq"):
+                pass
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["query", "rpq", "rpq"]
+        assert len(root.find("rpq")) == 2
+        assert len(tracer.find("rpq")) == 2
+        assert len(list(tracer.all_spans())) == 3
+
+
+class TestEventBridge:
+    def test_event_log_emissions_land_on_open_span(self):
+        tracer, _ = make()
+        log = tracer.event_log()
+        with tracer.span("query") as span:
+            log.emit("retry", key="site:1", attempt=2)
+        assert len(span.events) == 1
+        assert span.events[0].kind == "retry"
+        assert span.events[0]["key"] == "site:1"
+        # the log keeps its own copy too: one stream, two views
+        assert log.count("retry") == 1
+
+    def test_events_outside_any_span_are_kept_as_orphans(self):
+        tracer, _ = make()
+        log = tracer.event_log()
+        log.emit("fault", key="x")
+        assert len(tracer.orphan_events) == 1
+        assert tracer.total_events() == 1
+
+    def test_event_log_shares_the_tracer_clock(self):
+        tracer, clock = make()
+        log = tracer.event_log()
+        clock.advance(7.0)
+        event = log.emit("tick")
+        assert event.at == pytest.approx(clock.now())
+
+    def test_total_events_spans_plus_orphans(self):
+        tracer, _ = make()
+        log = tracer.event_log()
+        log.emit("before")
+        with tracer.span("a"):
+            log.emit("during")
+            with tracer.span("b"):
+                log.emit("nested")
+        assert tracer.total_events() == 3

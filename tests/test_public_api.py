@@ -27,6 +27,8 @@ PACKAGES = [
     "repro.storage",
     "repro.browse",
     "repro.datasets",
+    "repro.obs",
+    "repro.resilience",
 ]
 
 
