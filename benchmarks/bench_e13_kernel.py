@@ -1,0 +1,270 @@
+"""E13 -- the fast-path query kernel: where each optimization pays.
+
+Four ablations over the E2 RPQ workload (docs/PERFORMANCE.md explains
+the design; EXPERIMENTS.md records the tables):
+
+* **frozen vs dict** -- the same precompiled plan over ``Graph``
+  (dict-of-lists adjacency, per-call tuple views) and its
+  ``freeze()`` CSR snapshot;
+* **pruned vs full** -- the frozen layout with label pruning on
+  (scan only partitions matching the DFA state's live labels) and
+  forcibly off (every out-edge scanned, as the seed did);
+* **cached vs cold** -- pattern strings resolved through a warm
+  :class:`~repro.automata.plan_cache.PlanCache` vs recompiled
+  (parse + NFA + determinize) on every call;
+* **batched vs looped** -- one tagged multi-source traversal
+  (``rpq_nodes_many``) vs one product BFS per source, the shape of
+  the Lorel evaluator's per-binding calls before the rewire.
+
+The headline assertion is the combined kernel: frozen + pruned +
+cached must beat the seed path (dict graph, per-call recompile, full
+scans) by >= 2x on a bundled dataset.  ``BENCH_SMOKE=1`` shrinks the
+sweep for CI and skips the ratio assertions (shared-runner timings are
+too noisy to gate on).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.automata.plan_cache import PlanCache
+from repro.automata.product import compile_rpq, rpq_nodes, rpq_nodes_many
+from repro.datasets import generate_movies, generate_web
+from repro.obs.export import write_bench
+from repro.obs.metrics import MetricsRegistry
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+ENTRIES = 40 if SMOKE else 180
+QUERY_REPEAT = 5 if SMOKE else 40
+
+#: The E2 workload patterns: exact chains (fully prunable), alternation,
+#: and the negated-closure query whose ``!Movie`` guard exercises the
+#: full-scan fallback mid-pattern.
+PATTERNS = [
+    "Entry.Movie.Title",
+    "Entry.Movie.(Cast|Director)",
+    "Entry._.References._.Title",
+    'Entry.Movie.(!Movie)*."Allen"',
+]
+
+_RECORDS: dict = {}
+
+
+def _movies():
+    return generate_movies(ENTRIES, seed=23, reference_fraction=0.3)
+
+
+def _unpruned(pattern):
+    """A fresh plan with label pruning disabled (every guard reported
+    non-exact), reproducing the seed's scan-every-edge behavior."""
+    dfa = compile_rpq(pattern)
+    dfa.live_exact_labels = lambda state: None
+    return dfa
+
+
+def test_e13_frozen_vs_dict(benchmark):
+    g = _movies()
+    fg = g.freeze()
+    rows = []
+    for pattern in PATTERNS:
+        plan = _unpruned(pattern)  # isolate the layout: no pruning either side
+        dict_s, dict_hits = timed(lambda: rpq_nodes(g, plan))
+        frozen_s, frozen_hits = timed(lambda: rpq_nodes(fg, plan))
+        assert frozen_hits == dict_hits
+        _RECORDS.setdefault("frozen_vs_dict", {})[pattern] = {
+            "dict_s": dict_s,
+            "frozen_s": frozen_s,
+        }
+        rows.append(
+            (
+                pattern,
+                len(dict_hits),
+                f"{dict_s * 1e3:.2f}ms",
+                f"{frozen_s * 1e3:.2f}ms",
+                f"x{dict_s / frozen_s:.1f}" if frozen_s else "-",
+            )
+        )
+    print_table(
+        f"E13a: CSR snapshot vs dict adjacency (movies{ENTRIES}, unpruned plans)",
+        ["pattern", "hits", "dict", "frozen", "dict/frozen"],
+        rows,
+    )
+    plan = _unpruned(PATTERNS[0])
+    benchmark(lambda: rpq_nodes(fg, plan))
+
+
+def test_e13_pruned_vs_full(benchmark):
+    g = _movies()
+    fg = g.freeze()
+    rows = []
+    for pattern in PATTERNS:
+        pruned_plan = compile_rpq(pattern)
+        full_plan = _unpruned(pattern)
+        pruned_s, pruned_hits = timed(lambda: rpq_nodes(fg, pruned_plan))
+        full_s, full_hits = timed(lambda: rpq_nodes(fg, full_plan))
+        assert pruned_hits == full_hits
+        _RECORDS.setdefault("pruned_vs_full", {})[pattern] = {
+            "full_s": full_s,
+            "pruned_s": pruned_s,
+        }
+        rows.append(
+            (
+                pattern,
+                len(pruned_hits),
+                f"{full_s * 1e3:.2f}ms",
+                f"{pruned_s * 1e3:.2f}ms",
+                f"x{full_s / pruned_s:.1f}" if pruned_s else "-",
+            )
+        )
+    print_table(
+        f"E13b: label-pruned vs full-scan traversal (movies{ENTRIES}, frozen)",
+        ["pattern", "hits", "full", "pruned", "full/pruned"],
+        rows,
+    )
+    if not SMOKE:
+        # exact-chain patterns must benefit from skipping dead partitions
+        chain = _RECORDS["pruned_vs_full"]["Entry.Movie.Title"]
+        assert chain["pruned_s"] < chain["full_s"]
+    pruned_plan = compile_rpq(PATTERNS[0])
+    benchmark(lambda: rpq_nodes(fg, pruned_plan))
+
+
+def test_e13_cached_vs_cold(benchmark):
+    g = _movies()
+    fg = g.freeze()
+
+    def cold():
+        return [rpq_nodes(fg, p) for p in PATTERNS for _ in range(QUERY_REPEAT)]
+
+    cache = PlanCache(registry=MetricsRegistry())
+
+    def warm():
+        return [
+            rpq_nodes(fg, p, plan_cache=cache)
+            for p in PATTERNS
+            for _ in range(QUERY_REPEAT)
+        ]
+
+    warm()  # populate the cache: the steady state being measured
+    cold_s, cold_res = timed(cold)
+    warm_s, warm_res = timed(warm)
+    assert cold_res == warm_res
+    _RECORDS["cached_vs_cold"] = {
+        "calls": len(PATTERNS) * QUERY_REPEAT,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cache": cache.stats(),
+    }
+    print_table(
+        f"E13c: plan cache, {len(PATTERNS) * QUERY_REPEAT} calls over {len(PATTERNS)} patterns",
+        ["mode", "time", "cold/warm"],
+        [
+            ("cold (recompile per call)", f"{cold_s * 1e3:.2f}ms", ""),
+            (
+                "warm (LRU plan cache)",
+                f"{warm_s * 1e3:.2f}ms",
+                f"x{cold_s / warm_s:.1f}" if warm_s else "-",
+            ),
+        ],
+    )
+    if not SMOKE:
+        assert warm_s < cold_s
+    benchmark(warm)
+
+
+def test_e13_batched_vs_looped(benchmark):
+    g = _movies()
+    fg = g.freeze()
+    sources = sorted(rpq_nodes(fg, "Entry.Movie"))
+    pattern = '(!Movie)*."Allen"'
+    plan = compile_rpq(pattern)
+
+    def looped():
+        return {src: rpq_nodes(fg, plan, start=src) for src in sources}
+
+    def batched():
+        return rpq_nodes_many(fg, plan, sources)
+
+    looped_s, looped_res = timed(looped)
+    batched_s, batched_res = timed(batched)
+    assert batched_res == looped_res
+    _RECORDS["batched_vs_looped"] = {
+        "sources": len(sources),
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+    }
+    print_table(
+        f"E13d: multi-source {pattern!r} from {len(sources)} movie nodes",
+        ["mode", "time", "looped/batched"],
+        [
+            ("looped (one BFS per source)", f"{looped_s * 1e3:.2f}ms", ""),
+            (
+                "batched (tagged frontier)",
+                f"{batched_s * 1e3:.2f}ms",
+                f"x{looped_s / batched_s:.1f}" if batched_s else "-",
+            ),
+        ],
+    )
+    benchmark(batched)
+
+
+def test_e13_combined_kernel_speedup(benchmark):
+    """The acceptance gate: the full kernel (freeze + prune + cache)
+    vs the seed path (dict graph, string recompile per call)."""
+    g = _movies()
+    web = generate_web(ENTRIES, seed=7)
+    rows = []
+    datasets = {"movies": (g, PATTERNS), "web": (web, ["link*.keyword", "link.link.title"])}
+    for name, (graph, patterns) in datasets.items():
+        def seed_path():
+            return [rpq_nodes(graph, p) for p in patterns for _ in range(QUERY_REPEAT)]
+
+        def kernel_path():
+            fg = graph.freeze()  # snapshot cost charged to the fast path
+            cache = PlanCache(registry=MetricsRegistry())
+            return [
+                rpq_nodes(fg, p, plan_cache=cache)
+                for p in patterns
+                for _ in range(QUERY_REPEAT)
+            ]
+
+        seed_s, seed_res = timed(seed_path)
+        kernel_s, kernel_res = timed(kernel_path)
+        assert kernel_res == seed_res
+        speedup = seed_s / kernel_s if kernel_s else float("inf")
+        _RECORDS.setdefault("combined", {})[name] = {
+            "calls": len(patterns) * QUERY_REPEAT,
+            "seed_s": seed_s,
+            "kernel_s": kernel_s,
+            "speedup": speedup,
+        }
+        rows.append(
+            (
+                name,
+                len(patterns) * QUERY_REPEAT,
+                f"{seed_s * 1e3:.2f}ms",
+                f"{kernel_s * 1e3:.2f}ms",
+                f"x{speedup:.1f}",
+            )
+        )
+    print_table(
+        "E13e: combined kernel (freeze+prune+cache) vs seed dict path",
+        ["dataset", "calls", "seed", "kernel", "speedup"],
+        rows,
+    )
+    if not SMOKE:
+        # acceptance: >= 2x on at least one bundled dataset
+        assert max(r["speedup"] for r in _RECORDS["combined"].values()) >= 2.0
+
+    write_bench(
+        "e13_kernel",
+        {"entries": ENTRIES, "query_repeat": QUERY_REPEAT, "timings": _RECORDS},
+        Path(__file__).parent / "out",
+    )
+
+    fg = g.freeze()
+    cache = PlanCache(registry=MetricsRegistry())
+    benchmark(lambda: rpq_nodes(fg, PATTERNS[0], plan_cache=cache))

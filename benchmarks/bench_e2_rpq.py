@@ -14,9 +14,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from _tables import print_table, timed
 
+from repro.automata.plan_cache import PlanCache
 from repro.automata.product import naive_rpq, rpq_nodes, rpq_nodes_profiled
 from repro.datasets import generate_movies, generate_web
 from repro.obs.export import write_bench
+from repro.obs.metrics import MetricsRegistry
 
 PATTERN = 'Entry.Movie.(!Movie)*."Allen"'
 
@@ -24,15 +26,23 @@ PATTERN = 'Entry.Movie.(!Movie)*."Allen"'
 def test_e2_product_vs_naive(benchmark):
     rows = []
     records = {}
+    cache = PlanCache(registry=MetricsRegistry())
     for entries in [20, 60, 180]:
         g = generate_movies(entries, seed=23, reference_fraction=0.3)
+        fg = g.freeze()
+        cache.get(PATTERN)  # warm: measure the kernel's steady state
         bound = 8
         product_s, product_hits = timed(lambda: rpq_nodes(g, PATTERN))
+        frozen_s, frozen_hits = timed(
+            lambda: rpq_nodes(fg, PATTERN, plan_cache=cache)
+        )
         naive_s, naive_hits = timed(lambda: naive_rpq(g, PATTERN, max_length=bound), repeat=1)
+        assert frozen_hits == product_hits
         assert naive_hits <= product_hits  # bounded baseline under-approximates
         _, profile = rpq_nodes_profiled(g, PATTERN)
         records[f"movies{entries}"] = {
             "product_s": product_s,
+            "frozen_s": frozen_s,
             "naive_s": naive_s,
             "profile": profile.as_dict(),
         }
@@ -42,17 +52,18 @@ def test_e2_product_vs_naive(benchmark):
                 g.num_edges,
                 len(product_hits),
                 f"{product_s * 1e3:.2f}ms",
+                f"{frozen_s * 1e3:.2f}ms",
                 f"{naive_s * 1e3:.2f}ms",
                 f"x{naive_s / product_s:.0f}" if product_s else "-",
             )
         )
     print_table(
         f"E2: {PATTERN!r}, product vs naive (bound 8)",
-        ["entries", "edges", "hits", "product", "naive", "naive/product"],
+        ["entries", "edges", "hits", "product", "frozen+cached", "naive", "naive/product"],
         rows,
     )
     # shape: the product wins, increasingly with size
-    ratios = [float(r[5][1:]) for r in rows]
+    ratios = [float(r[6][1:]) for r in rows]
     assert ratios[-1] > 5.0
     assert ratios[-1] >= ratios[0]
 

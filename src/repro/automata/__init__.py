@@ -4,15 +4,19 @@
 * :mod:`~repro.automata.nfa` -- Thompson construction with predicate guards;
 * :mod:`~repro.automata.dfa` -- lazy subset construction over truth vectors;
 * :mod:`~repro.automata.product` -- RPQ evaluation by graph x automaton
-  product, plus the naive path-enumeration baseline of experiment E2.
+  product (label-pruned over frozen graphs, batchable over many sources),
+  plus the naive path-enumeration baseline of experiment E2;
+* :mod:`~repro.automata.plan_cache` -- the bounded LRU of compiled plans.
 """
 
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
+from .plan_cache import DEFAULT_PLAN_CACHE, PLAN_METRICS, PlanCache, cached_compile
 from .product import (
     compile_rpq,
     naive_rpq,
     rpq_nodes,
+    rpq_nodes_many,
     rpq_nodes_partial,
     rpq_witnesses,
 )
@@ -59,7 +63,12 @@ __all__ = [
     "LazyDfa",
     "compile_rpq",
     "rpq_nodes",
+    "rpq_nodes_many",
     "rpq_nodes_partial",
     "rpq_witnesses",
     "naive_rpq",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "PLAN_METRICS",
+    "cached_compile",
 ]

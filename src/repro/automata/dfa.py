@@ -18,6 +18,9 @@ from .regex import LabelPredicate
 
 __all__ = ["LazyDfa"]
 
+#: Sentinel distinguishing "not computed yet" from a computed ``None``.
+_UNCOMPUTED = object()
+
 
 class LazyDfa:
     """A DFA materialized lazily from an NFA.
@@ -36,6 +39,7 @@ class LazyDfa:
         self._accepting: list[bool] = []
         self._table: dict[tuple[int, tuple[bool, ...]], int] = {}
         self._vector_cache: dict[Label, tuple[bool, ...]] = {}
+        self._live_labels: dict[int, "frozenset[Label] | None"] = {}
         self.start = self._intern(nfa.initial())
 
     # -- state management -------------------------------------------------------
@@ -74,6 +78,48 @@ class LazyDfa:
 
     def is_accepting(self, state: int) -> bool:
         return self._accepting[state]
+
+    def live_exact_labels(self, state: int) -> "frozenset[Label] | None":
+        """The labels that can move ``state`` forward, when that set is exact.
+
+        Returns the union of the *exact* transition guards leaving the
+        state's NFA subset, or ``None`` as soon as any guard is
+        non-exact (wildcard, glob, type test, negation) -- then no
+        finite label set captures the live alphabet and callers must
+        fall back to a full edge scan.  Any label outside a non-``None``
+        result necessarily steps to the dead state, which is what lets
+        the product kernel skip those edges without changing results.
+        Memoized per state (the subset never changes).
+        """
+        cached = self._live_labels.get(state, _UNCOMPUTED)
+        if cached is not _UNCOMPUTED:
+            return cached
+        labels: set[Label] = set()
+        live: "frozenset[Label] | None" = None
+        for s in self._subsets[state]:
+            for predicate, _target in self._nfa.transitions[s]:
+                if not predicate.is_exact:
+                    break
+                labels.add(predicate.exact_label)
+            else:
+                continue
+            break
+        else:
+            live = frozenset(labels)
+        self._live_labels[state] = live
+        return live
+
+    def ensure_dead_state(self) -> int:
+        """Intern (and return) the dead state explicitly.
+
+        The pruned product kernel calls this when it skips edges whose
+        label cannot advance the automaton: a full scan would have
+        stepped those edges and thereby materialized the dead state, so
+        interning it here keeps ``num_materialized_states`` -- a pinned
+        golden-profile observable -- identical between the pruned and
+        unpruned traversals.
+        """
+        return self._intern(frozenset())
 
     def is_dead(self, state: int) -> bool:
         """True iff the state is the empty subset: no continuation can match."""

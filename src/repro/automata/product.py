@@ -7,24 +7,45 @@ evaluation is polynomial even on cyclic data where naive path enumeration
 diverges -- exactly why the paper wants regular expressions rather than
 explicit path search.  :func:`naive_rpq` implements that naive enumeration
 as the baseline for experiment E2.
+
+Two graph layouts are supported transparently.  Over a plain
+:class:`~repro.core.graph.Graph` the product scans every out-edge of each
+configuration -- the reference traversal the golden profiles pin.  Over a
+:class:`~repro.core.frozen.FrozenGraph` the kernel is *label-pruned*: at
+each ``(node, dfa state)`` it asks the automaton which exact labels can
+advance (:meth:`LazyDfa.live_exact_labels`) and scans only the node's
+matching per-label partitions, falling back to a full scan whenever a
+wildcard/glob/negation guard makes the live alphabet unbounded.  Skipped
+edges are exactly those a full scan would step into the dead state, so
+results -- and, via :meth:`LazyDfa.ensure_dead_state`, the profiled
+``dfa_states`` counts -- are identical on both layouts.
+
+:func:`rpq_nodes_many` batches many source nodes into one tagged product
+BFS so the per-query setup (plan resolution, transition cache, live-label
+cache) is paid once per pattern instead of once per source.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from operator import itemgetter
+from typing import TYPE_CHECKING, Iterable
 
+from ..core.frozen import FrozenGraph
 from ..core.graph import Edge, Graph
-from ..core.labels import Label
 from ..obs import QueryProfile
 from ..resilience import PartialResult, completeness_of
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
 from .regex import PathRegex, parse_path_regex
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan_cache import PlanCache
+
 __all__ = [
     "compile_rpq",
     "rpq_nodes",
+    "rpq_nodes_many",
     "rpq_nodes_partial",
     "rpq_nodes_profiled",
     "rpq_witnesses",
@@ -32,39 +53,83 @@ __all__ = [
     "naive_rpq",
 ]
 
+#: Sentinel distinguishing "not cached yet" from a cached ``None``.
+_UNSET = object()
 
-def compile_rpq(pattern: "str | PathRegex | Nfa | LazyDfa") -> LazyDfa:
-    """Compile any pattern form down to a runnable lazy DFA."""
+
+def compile_rpq(
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    *,
+    plan_cache: "PlanCache | None" = None,
+) -> LazyDfa:
+    """Compile any pattern form down to a runnable lazy DFA.
+
+    With a ``plan_cache``, string patterns are interned: repeated queries
+    reuse one plan (and everything it has already materialized) instead
+    of re-parsing and re-determinizing.  Non-string forms bypass the
+    cache -- they carry no stable text to key on.
+    """
     if isinstance(pattern, LazyDfa):
         return pattern
     if isinstance(pattern, Nfa):
         return LazyDfa(pattern)
     if isinstance(pattern, str):
+        if plan_cache is not None:
+            return plan_cache.get(pattern)
         pattern = parse_path_regex(pattern)
     return LazyDfa(build_nfa(pattern))
 
 
+def _resolve_plan(
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    plan_cache: "PlanCache | None",
+) -> tuple[LazyDfa, int]:
+    """The plan plus the ``dfa_states`` accounting baseline.
+
+    A pre-compiled plan (passed directly, or served from the cache) only
+    charges the current query for states it *newly* materializes; a fresh
+    compile charges all of them, including the start state.
+    """
+    if plan_cache is not None and isinstance(pattern, str):
+        dfa, was_hit = plan_cache.lookup(pattern)
+        return dfa, (dfa.num_materialized_states if was_hit else 0)
+    dfa = compile_rpq(pattern)
+    states_before = dfa.num_materialized_states if isinstance(pattern, LazyDfa) else 0
+    return dfa, states_before
+
+
 def rpq_nodes(
-    graph: Graph, pattern: "str | PathRegex | Nfa | LazyDfa", start: int | None = None
+    graph: "Graph | FrozenGraph",
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    plan_cache: "PlanCache | None" = None,
 ) -> set[int]:
     """All nodes reachable from ``start`` (default: root) by a matching path.
 
     BFS over the product space ``(graph node, dfa state)``; each
     configuration is visited at most once, so the query terminates on
-    cyclic graphs and runs in ``O(edges x dfa states)``.
+    cyclic graphs and runs in ``O(edges x dfa states)``.  Pass a frozen
+    graph for the label-pruned kernel, and a plan cache to amortize
+    compilation across repeated string patterns -- both return the same
+    node set as the plain path.
     """
-    dfa = compile_rpq(pattern)
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
     origin = graph.root if start is None else start
     return _product_bfs(graph, dfa, origin)[0]
 
 
-def _product_bfs(graph: Graph, dfa: LazyDfa, origin: int) -> tuple[set[int], set[tuple[int, int]]]:
+def _product_bfs(
+    graph: "Graph | FrozenGraph", dfa: LazyDfa, origin: int
+) -> tuple[set[int], set[tuple[int, int]]]:
     """The shared BFS core: matched nodes plus every explored config.
 
     Returning ``seen`` lets the profiled entry points derive their counts
     *after* the traversal (every seen config is expanded exactly once),
     so the hot loop itself carries no instrumentation.
     """
+    if isinstance(graph, FrozenGraph):
+        return _product_bfs_frozen(graph, dfa, origin)
     results: set[int] = set()
     initial = (origin, dfa.start)
     if dfa.is_accepting(dfa.start):
@@ -87,14 +152,144 @@ def _product_bfs(graph: Graph, dfa: LazyDfa, origin: int) -> tuple[set[int], set
     return results, seen
 
 
+# -- the frozen (label-pruned) kernel -------------------------------------------
+
+
+def _live_label_ids(
+    fg: FrozenGraph, dfa: LazyDfa, state: int, cache: dict
+) -> "tuple[int, ...] | None":
+    """``state``'s live alphabet as interned label ids, or ``None``.
+
+    ``None`` means the live set is not exactly known (some guard is a
+    wildcard/glob/type/negation) and the caller must scan every edge.
+    Labels the automaton can advance on but the graph never uses are
+    dropped -- they cannot label any edge.  Cached per state because the
+    answer only depends on the (immutable) NFA subset.
+    """
+    ids = cache.get(state, _UNSET)
+    if ids is not _UNSET:
+        return ids
+    live = dfa.live_exact_labels(state)
+    if live is None:
+        ids = None
+    else:
+        label_index = fg.label_index
+        ids = tuple(sorted(label_index[lab] for lab in live if lab in label_index))
+    cache[state] = ids
+    return ids
+
+
+def _ordered_edge_indices(
+    fg: FrozenGraph, dfa: LazyDfa, state: int, pos: int, live_cache: dict
+):
+    """The edge indices of the node at ``pos`` worth scanning from ``state``.
+
+    Pruned to the state's live label partitions, but always yielded in
+    *edge insertion order* -- the order a plain-graph scan uses -- so
+    order-sensitive consumers (witness tie-breaking, the distributed BSP
+    message schedule) behave identically on both layouts.  Skipping any
+    edge interns the dead state, keeping profiled state counts aligned
+    with the full scan that would have stepped into it.
+    """
+    offsets = fg.offsets
+    begin, end = offsets[pos], offsets[pos + 1]
+    if begin == end:
+        return ()
+    live = _live_label_ids(fg, dfa, state, live_cache)
+    if live is None:
+        return range(begin, end)
+    part = fg.partitions[pos]
+    buckets = [part[lid] for lid in live if lid in part]
+    if sum(map(len, buckets)) == end - begin:
+        return range(begin, end)
+    dfa.ensure_dead_state()
+    if not buckets:
+        return ()
+    if len(buckets) == 1:
+        return buckets[0]
+    merged: list[int] = []
+    for bucket in buckets:
+        merged.extend(bucket)
+    merged.sort()
+    return merged
+
+
+def _product_bfs_frozen(
+    fg: FrozenGraph, dfa: LazyDfa, origin: int
+) -> tuple[set[int], set[tuple[int, int]]]:
+    """Label-pruned product BFS over the CSR layout.
+
+    Transitions are cached per ``(state, label id)`` with ``-1`` as the
+    dead sentinel, so the steady state of the loop is pure int/array
+    work: no Label hashing, no Edge allocation, and -- when the live
+    alphabet is exact -- no touching of edges that cannot advance the
+    automaton.
+    """
+    offsets, targets, label_ids = fg.offsets, fg.targets, fg.label_ids
+    partitions, labels_seq, index = fg.partitions, fg.labels_seq, fg.index
+    step, is_dead, is_accepting = dfa.step, dfa.is_dead, dfa.is_accepting
+    results: set[int] = set()
+    if is_accepting(dfa.start):
+        results.add(origin)
+    initial = (origin, dfa.start)
+    seen = {initial}
+    queue = deque([initial])
+    trans: dict[tuple[int, int], int] = {}
+    live_cache: dict = {}
+    dead_interned = False
+    while queue:
+        node, state = queue.popleft()
+        pos = node if index is None else index[node]
+        begin, end = offsets[pos], offsets[pos + 1]
+        if begin == end:
+            continue
+        live = _live_label_ids(fg, dfa, state, live_cache)
+        if live is None:
+            spans = (range(begin, end),)
+        else:
+            part = partitions[pos]
+            spans = [part[lid] for lid in live if lid in part]
+            if not dead_interned and sum(map(len, spans)) != end - begin:
+                # a full scan would step every skipped edge into the dead
+                # state; intern it so materialized-state counts agree
+                dfa.ensure_dead_state()
+                dead_interned = True
+        for span in spans:
+            for i in span:
+                lid = label_ids[i]
+                key = (state, lid)
+                nxt = trans.get(key)
+                if nxt is None:
+                    stepped = step(state, labels_seq[lid])
+                    nxt = -1 if is_dead(stepped) else stepped
+                    trans[key] = nxt
+                if nxt < 0:
+                    continue
+                dst = targets[i]
+                config = (dst, nxt)
+                if config not in seen:
+                    seen.add(config)
+                    if is_accepting(nxt):
+                        results.add(dst)
+                    queue.append(config)
+    return results, seen
+
+
+# -- profiled twins -------------------------------------------------------------
+
+
 def _fill_product_counts(
     profile: QueryProfile,
-    graph: Graph,
-    seen: set[tuple[int, int]],
+    graph: "Graph | FrozenGraph",
+    seen: "set[tuple[int, int]] | dict",
     states_before: int,
     dfa: LazyDfa,
 ) -> None:
-    """Derive the product counts of one BFS from its ``seen`` set."""
+    """Derive the product counts of one BFS from its explored configs.
+
+    ``seen`` is any sized collection of ``(node, state)`` configs -- the
+    BFS ``seen`` set or the witness search's ``parents`` map.
+    """
     visited = set(map(itemgetter(0), seen))
     profile.product_pairs += len(seen)
     profile.nodes_visited += len(visited)
@@ -103,25 +298,27 @@ def _fill_product_counts(
 
 
 def rpq_nodes_profiled(
-    graph: Graph,
+    graph: "Graph | FrozenGraph",
     pattern: "str | PathRegex | Nfa | LazyDfa",
     start: int | None = None,
     *,
     profile: "QueryProfile | None" = None,
     tracer=None,
+    plan_cache: "PlanCache | None" = None,
 ) -> tuple[set[int], QueryProfile]:
     """:func:`rpq_nodes` plus a :class:`~repro.obs.QueryProfile`.
 
     Counts are exact and deterministic: distinct nodes entered by the
     product, out-edges scanned from them, configurations explored, and
     DFA states materialized by this evaluation (for a pre-compiled
-    :class:`LazyDfa` only *newly* built states count; a fresh compile
-    counts all of them, including the start state).  Pass ``profile`` to
-    accumulate across calls (the UnQL/Lorel evaluators do); pass a
-    ``tracer`` to record the evaluation as a span.
+    :class:`LazyDfa` -- passed directly or served as a plan-cache hit --
+    only *newly* built states count; a fresh compile counts all of them,
+    including the start state).  Pass ``profile`` to accumulate across
+    calls (the UnQL/Lorel evaluators do); pass a ``tracer`` to record the
+    evaluation as a span.  The counts are identical whichever graph
+    layout or cache configuration serves the query.
     """
-    dfa = compile_rpq(pattern)
-    states_before = dfa.num_materialized_states if isinstance(pattern, LazyDfa) else 0
+    dfa, states_before = _resolve_plan(pattern, plan_cache)
     origin = graph.root if start is None else start
     owns_profile = profile is None
     if profile is None:
@@ -145,7 +342,11 @@ def rpq_nodes_profiled(
 
 
 def rpq_nodes_partial(
-    graph: Graph, pattern: "str | PathRegex | Nfa | LazyDfa", start: int | None = None
+    graph: "Graph | FrozenGraph",
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    plan_cache: "PlanCache | None" = None,
 ) -> "PartialResult[set[int]]":
     """:func:`rpq_nodes` with the partial-result contract made explicit.
 
@@ -158,36 +359,157 @@ def rpq_nodes_partial(
     visible graph, so a lost region can only hide matches, never forge
     them.
     """
-    nodes = rpq_nodes(graph, pattern, start)
+    nodes = rpq_nodes(graph, pattern, start, plan_cache=plan_cache)
     return PartialResult(nodes, completeness_of(graph))
 
 
+# -- batched multi-source evaluation --------------------------------------------
+
+
+def rpq_nodes_many(
+    graph: "Graph | FrozenGraph",
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    sources: Iterable[int],
+    *,
+    plan_cache: "PlanCache | None" = None,
+) -> dict[int, set[int]]:
+    """One tagged product BFS answering the pattern from many sources.
+
+    Returns ``{source: matched nodes}``, equal to running
+    :func:`rpq_nodes` once per source.  Configurations carry an origin
+    tag, ``(source, node, state)``, so sources whose frontiers overlap
+    still get separate answers while sharing a single plan, transition
+    cache, and live-label cache -- the per-query setup cost is paid once
+    per *pattern* instead of once per *source*, which is what makes
+    Lorel's per-binding path conditions cheap.
+    """
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
+    order = list(dict.fromkeys(sources))
+    results: dict[int, set[int]] = {s: set() for s in order}
+    if not order:
+        return results
+    if isinstance(graph, FrozenGraph):
+        _rpq_many_frozen(graph, dfa, order, results)
+        return results
+    accept_start = dfa.is_accepting(dfa.start)
+    seen: set[tuple[int, int, int]] = set()
+    queue: deque[tuple[int, int, int]] = deque()
+    for s in order:
+        if accept_start:
+            results[s].add(s)
+        config = (s, s, dfa.start)
+        seen.add(config)
+        queue.append(config)
+    while queue:
+        tag, node, state = queue.popleft()
+        for edge in graph.edges_from(node):
+            nxt_state = dfa.step(state, edge.label)
+            if dfa.is_dead(nxt_state):
+                continue
+            config = (tag, edge.dst, nxt_state)
+            if config in seen:
+                continue
+            seen.add(config)
+            if dfa.is_accepting(nxt_state):
+                results[tag].add(edge.dst)
+            queue.append(config)
+    return results
+
+
+def _rpq_many_frozen(
+    fg: FrozenGraph, dfa: LazyDfa, order: list[int], results: dict[int, set[int]]
+) -> None:
+    """The frozen-kernel body of :func:`rpq_nodes_many` (fills ``results``)."""
+    offsets, targets, label_ids = fg.offsets, fg.targets, fg.label_ids
+    partitions, labels_seq, index = fg.partitions, fg.labels_seq, fg.index
+    step, is_dead, is_accepting = dfa.step, dfa.is_dead, dfa.is_accepting
+    accept_start = is_accepting(dfa.start)
+    seen: set[tuple[int, int, int]] = set()
+    queue: deque[tuple[int, int, int]] = deque()
+    for s in order:
+        if accept_start:
+            results[s].add(s)
+        config = (s, s, dfa.start)
+        seen.add(config)
+        queue.append(config)
+    trans: dict[tuple[int, int], int] = {}
+    live_cache: dict = {}
+    dead_interned = False
+    while queue:
+        tag, node, state = queue.popleft()
+        pos = node if index is None else index[node]
+        begin, end = offsets[pos], offsets[pos + 1]
+        if begin == end:
+            continue
+        live = _live_label_ids(fg, dfa, state, live_cache)
+        if live is None:
+            spans = (range(begin, end),)
+        else:
+            part = partitions[pos]
+            spans = [part[lid] for lid in live if lid in part]
+            if not dead_interned and sum(map(len, spans)) != end - begin:
+                dfa.ensure_dead_state()
+                dead_interned = True
+        for span in spans:
+            for i in span:
+                lid = label_ids[i]
+                key = (state, lid)
+                nxt = trans.get(key)
+                if nxt is None:
+                    stepped = step(state, labels_seq[lid])
+                    nxt = -1 if is_dead(stepped) else stepped
+                    trans[key] = nxt
+                if nxt < 0:
+                    continue
+                dst = targets[i]
+                config = (tag, dst, nxt)
+                if config not in seen:
+                    seen.add(config)
+                    if is_accepting(nxt):
+                        results[tag].add(dst)
+                    queue.append(config)
+
+
+# -- witnesses -------------------------------------------------------------------
+
+
 def rpq_witnesses(
-    graph: Graph, pattern: "str | PathRegex | Nfa | LazyDfa", start: int | None = None
+    graph: "Graph | FrozenGraph",
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    plan_cache: "PlanCache | None" = None,
 ) -> dict[int, tuple[Edge, ...]]:
     """A shortest witness path for every node matched by the pattern.
 
     Returns ``{node: (edge, edge, ...)}`` where the edge sequence spells a
     shortest label path from the start node that the regex accepts.  Used
     by Lorel path variables and by the browsing API to *show* the user
-    where in the database something was found.
+    where in the database something was found.  Witness choice is
+    deterministic and layout-independent: the frozen kernel scans pruned
+    edges in insertion order, so ties break exactly as on a plain graph.
     """
-    dfa = compile_rpq(pattern)
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
     origin = graph.root if start is None else start
+    return _witness_search(graph, dfa, origin)[0]
+
+
+def _witness_search(
+    graph: "Graph | FrozenGraph", dfa: LazyDfa, origin: int
+) -> tuple[dict[int, tuple[Edge, ...]], dict]:
+    """Shared witness BFS: the witness map plus the parents map.
+
+    The parents map doubles as the explored-config set (it holds exactly
+    the configurations a plain product BFS would mark seen), which is
+    what lets the profiled twin account the traversal without running it
+    twice.
+    """
+    if isinstance(graph, FrozenGraph):
+        return _witness_search_frozen(graph, dfa, origin)
     parents: dict[tuple[int, int], tuple[tuple[int, int], Edge] | None] = {
         (origin, dfa.start): None
     }
     witnesses: dict[int, tuple[Edge, ...]] = {}
-
-    def reconstruct(config: tuple[int, int]) -> tuple[Edge, ...]:
-        path: list[Edge] = []
-        cursor = config
-        while parents[cursor] is not None:
-            prev, edge = parents[cursor]  # type: ignore[misc]
-            path.append(edge)
-            cursor = prev
-        return tuple(reversed(path))
-
     if dfa.is_accepting(dfa.start):
         witnesses[origin] = ()
     queue = deque([(origin, dfa.start)])
@@ -203,46 +525,99 @@ def rpq_witnesses(
                 continue
             parents[nxt] = (config, edge)
             if dfa.is_accepting(nxt_state) and edge.dst not in witnesses:
-                witnesses[edge.dst] = reconstruct(nxt)
+                witnesses[edge.dst] = _reconstruct(parents, nxt)
             queue.append(nxt)
-    return witnesses
+    return witnesses, parents
+
+
+def _witness_search_frozen(
+    fg: FrozenGraph, dfa: LazyDfa, origin: int
+) -> tuple[dict[int, tuple[Edge, ...]], dict]:
+    """The label-pruned witness BFS (insertion-order edge scans)."""
+    targets, label_ids = fg.targets, fg.label_ids
+    labels_seq, index = fg.labels_seq, fg.index
+    step, is_dead, is_accepting = dfa.step, dfa.is_dead, dfa.is_accepting
+    parents: dict[tuple[int, int], tuple[tuple[int, int], Edge] | None] = {
+        (origin, dfa.start): None
+    }
+    witnesses: dict[int, tuple[Edge, ...]] = {}
+    if is_accepting(dfa.start):
+        witnesses[origin] = ()
+    queue = deque([(origin, dfa.start)])
+    trans: dict[tuple[int, int], int] = {}
+    live_cache: dict = {}
+    while queue:
+        config = queue.popleft()
+        node, state = config
+        pos = node if index is None else index[node]
+        for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+            lid = label_ids[i]
+            key = (state, lid)
+            nxt_state = trans.get(key)
+            if nxt_state is None:
+                stepped = step(state, labels_seq[lid])
+                nxt_state = -1 if is_dead(stepped) else stepped
+                trans[key] = nxt_state
+            if nxt_state < 0:
+                continue
+            dst = targets[i]
+            nxt = (dst, nxt_state)
+            if nxt in parents:
+                continue
+            parents[nxt] = (config, Edge(node, labels_seq[lid], dst))
+            if is_accepting(nxt_state) and dst not in witnesses:
+                witnesses[dst] = _reconstruct(parents, nxt)
+            queue.append(nxt)
+    return witnesses, parents
+
+
+def _reconstruct(parents: dict, config: tuple[int, int]) -> tuple[Edge, ...]:
+    """Spell out the witness path ending at ``config`` from the parents map."""
+    path: list[Edge] = []
+    cursor = config
+    while parents[cursor] is not None:
+        prev, edge = parents[cursor]
+        path.append(edge)
+        cursor = prev
+    return tuple(reversed(path))
 
 
 def rpq_witnesses_profiled(
-    graph: Graph,
+    graph: "Graph | FrozenGraph",
     pattern: "str | PathRegex | Nfa | LazyDfa",
     start: int | None = None,
     *,
     profile: "QueryProfile | None" = None,
+    plan_cache: "PlanCache | None" = None,
 ) -> tuple[dict[int, tuple[Edge, ...]], QueryProfile]:
     """:func:`rpq_witnesses` plus its :class:`~repro.obs.QueryProfile`.
 
     The witness search explores the same product configurations as
-    :func:`rpq_nodes` (its ``parents`` map plays the role of ``seen``),
-    so the two profiled entry points report identical traversal counts
-    for the same query -- a cross-check the tests rely on.
+    :func:`rpq_nodes` -- its ``parents`` map *is* the ``seen`` set -- so
+    the counts come straight from the single search: no second traversal,
+    and the two profiled entry points report identical numbers for the
+    same query (a cross-check the tests rely on).
     """
-    dfa = compile_rpq(pattern)
-    states_before = dfa.num_materialized_states if isinstance(pattern, LazyDfa) else 0
-    witnesses = rpq_witnesses(graph, dfa, start)
-    # Re-derive the explored configs: rpq_witnesses visits exactly the
-    # configurations rpq_nodes does (same BFS, same pruning).
+    dfa, states_before = _resolve_plan(pattern, plan_cache)
     origin = graph.root if start is None else start
-    _, seen = _product_bfs(graph, dfa, origin)
+    witnesses, parents = _witness_search(graph, dfa, origin)
     owns_profile = profile is None
     if profile is None:
         profile = QueryProfile(
             engine="rpq-witnesses",
             query=pattern if isinstance(pattern, str) else "<compiled>",
         )
-    _fill_product_counts(profile, graph, seen, states_before, dfa)
+    _fill_product_counts(profile, graph, parents, states_before, dfa)
     if owns_profile:
         profile.results = len(witnesses)
     return witnesses, profile
 
 
+# -- the naive baseline ----------------------------------------------------------
+
+
 def naive_rpq(
-    graph: Graph,
+    graph: "Graph | FrozenGraph",
     pattern: "str | PathRegex | Nfa",
     max_length: int,
     start: int | None = None,
@@ -254,6 +629,13 @@ def naive_rpq(
     (experiment E2 measures the gap).  ``max_length`` bounds the search so
     the baseline terminates on cyclic input; results agree with
     :func:`rpq_nodes` whenever every witness fits in the bound.
+
+    The enumeration is an explicit-stack DFS carrying the NFA state set
+    incrementally along the current path (one :meth:`Nfa.step` per edge
+    rather than re-matching the whole label sequence at every node), so
+    deep chains neither overflow the recursion limit nor pay quadratic
+    re-matching -- it is still the naive *per-path* search, just fairly
+    implemented.
     """
     if isinstance(pattern, Nfa):
         nfa = pattern
@@ -263,17 +645,25 @@ def naive_rpq(
         nfa = build_nfa(pattern)
     origin = graph.root if start is None else start
     results: set[int] = set()
-    labels: list[Label] = []
-
-    def explore(node: int) -> None:
-        if nfa.matches(labels):
-            results.add(node)
-        if len(labels) >= max_length:
-            return
-        for edge in graph.edges_from(node):
-            labels.append(edge.label)
-            explore(edge.dst)
-            labels.pop()
-
-    explore(origin)
+    initial = nfa.initial()
+    if nfa.is_accepting(initial):
+        results.add(origin)
+    if max_length <= 0:
+        return results
+    # parallel stacks: an edge iterator per open node on the current path,
+    # and the NFA state set reached by the labels spelling that path
+    iter_stack = [iter(graph.edges_from(origin))]
+    state_stack = [initial]
+    while iter_stack:
+        edge = next(iter_stack[-1], None)
+        if edge is None:
+            iter_stack.pop()
+            state_stack.pop()
+            continue
+        states = nfa.step(state_stack[-1], edge.label)
+        if nfa.is_accepting(states):
+            results.add(edge.dst)
+        if len(iter_stack) < max_length:
+            iter_stack.append(iter(graph.edges_from(edge.dst)))
+            state_stack.append(states)
     return results

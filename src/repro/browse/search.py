@@ -30,6 +30,7 @@ from __future__ import annotations
 import fnmatch
 from dataclasses import dataclass
 
+from ..core.frozen import FrozenGraph
 from ..core.graph import Edge, Graph
 from ..core.labels import Label, string
 from ..index import GraphIndexes
@@ -80,6 +81,27 @@ def _shortest_paths_to_nodes(graph: Graph, targets: set[int]) -> dict[int, tuple
     return paths
 
 
+def _frozen_label_scan(fg: FrozenGraph, keep) -> list[Edge]:
+    """Scan a frozen graph by *distinct label*, then by edge.
+
+    The predicate runs once per interned label instead of once per edge
+    -- the win is largest for ``fnmatch``-style predicates on datasets
+    whose label vocabulary is much smaller than their edge count.
+    Matching edges come out in CSR (per-node insertion) order, filtered
+    to the root-reachable region exactly like the plain scan.
+    """
+    keep_lids = {lid for lid, lab in enumerate(fg.labels_seq) if keep(lab)}
+    if not keep_lids:
+        return []
+    reach = fg.reachable()
+    srcs, targets, labels_seq = fg.srcs, fg.targets, fg.labels_seq
+    return [
+        Edge(srcs[i], labels_seq[lid], targets[i])
+        for i, lid in enumerate(fg.label_ids)
+        if lid in keep_lids and srcs[i] in reach
+    ]
+
+
 def _attach_paths(graph: Graph, edges: list[Edge]) -> list[Finding]:
     paths = _shortest_paths_to_nodes(graph, {e.src for e in edges})
     findings = [Finding(e, paths.get(e.src, ())) for e in edges]
@@ -100,6 +122,10 @@ def find_value(
     target = string(value) if isinstance(value, str) else label_of(value)
     if indexes is not None:
         edges = list(indexes.value.find_exact(target))
+    elif isinstance(graph, FrozenGraph):
+        # the interned label space answers an exact-value probe directly
+        reach = graph.reachable()
+        edges = [e for e in graph.edges_with_label(target) if e.src in reach]
     else:
         edges = [
             e
@@ -122,6 +148,10 @@ def find_integers_greater_than(
         edges = [
             e for e in indexes.value.numbers_greater_than(bound) if e.label.is_int
         ]
+    elif isinstance(graph, FrozenGraph):
+        edges = _frozen_label_scan(
+            graph, lambda lab: lab.is_int and lab.value > bound
+        )
     else:
         edges = [
             e
@@ -145,6 +175,11 @@ def find_attribute_names(
     if indexes is not None:
         labels = indexes.label.symbols_matching(pattern)
         edges = [e for lab in labels for e in indexes.label.edges_with_label(lab)]
+    elif isinstance(graph, FrozenGraph):
+        edges = _frozen_label_scan(
+            graph,
+            lambda lab: lab.is_symbol and fnmatch.fnmatchcase(str(lab.value), glob),
+        )
     else:
         edges = [
             e

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..automata.plan_cache import DEFAULT_PLAN_CACHE
 from ..automata.product import rpq_nodes
 from ..core.graph import Graph
 from ..index.text_index import tokenize
@@ -95,7 +96,7 @@ def websql(text: str, web: Graph) -> list[dict[str, list[object]]]:
     """Run a WebSQL query; one result dict per matched document."""
     query = parse_websql(text)
     results = []
-    for doc in sorted(rpq_nodes(web, query.path)):
+    for doc in sorted(rpq_nodes(web, query.path, plan_cache=DEFAULT_PLAN_CACHE)):
         record: dict[str, list[object]] = {}
         for edge in web.edges_from(doc):
             if not edge.label.is_symbol:

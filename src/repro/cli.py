@@ -125,6 +125,7 @@ def _cmd_schema(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    from .automata.plan_cache import PLAN_METRICS
     from .obs.export import metrics_to_dict, to_json
     from .storage import STORAGE_METRICS
 
@@ -139,6 +140,7 @@ def _cmd_stats(args) -> int:
             "cyclic": g.has_cycle(),
             "labels": {k.value: by_kind[k.value] for k in LabelKind if k.value in by_kind},
             "storage": metrics_to_dict(STORAGE_METRICS),
+            "plan_cache": metrics_to_dict(PLAN_METRICS),
         }
         print(to_json(payload))
         return 0
@@ -150,6 +152,8 @@ def _cmd_stats(args) -> int:
             print(f"labels[{kind.value}]: {by_kind[kind.value]}")
     for name, value in metrics_to_dict(STORAGE_METRICS).items():
         print(f"storage[{name}]: {value}")
+    for name, value in metrics_to_dict(PLAN_METRICS).items():
+        print(f"plan_cache[{name}]: {value}")
     return 0
 
 
@@ -160,17 +164,20 @@ def _cmd_profile(args) -> int:
     ``unql``, or ``find`` (the section-1.3 browse search).  ``--json``
     emits the profile via :mod:`repro.obs.export` for scripting.
     """
+    from .automata.plan_cache import DEFAULT_PLAN_CACHE, PLAN_METRICS
     from .browse import find_value_profiled
     from .core.convert import graph_to_oem
     from .lorel import evaluate_lorel_profiled, parse_lorel
-    from .obs.export import to_json
+    from .obs.export import metrics_to_dict, to_json
     from .unql import evaluate_query_profiled, parse_query
 
     g = load_database(args.file)
     if args.engine == "rpq":
         from .automata.product import rpq_nodes_profiled
 
-        results, profile = rpq_nodes_profiled(g, args.query)
+        results, profile = rpq_nodes_profiled(
+            g, args.query, plan_cache=DEFAULT_PLAN_CACHE
+        )
         preview = f"{len(results)} node(s)"
     elif args.engine == "lorel":
         db = graph_to_oem(g)
@@ -193,11 +200,20 @@ def _cmd_profile(args) -> int:
         findings, profile = find_value_profiled(g, value)
         preview = f"{len(findings)} finding(s)"
     if args.json:
-        print(to_json(profile.as_dict()))
+        print(
+            to_json(
+                {
+                    "profile": profile.as_dict(),
+                    "plan_cache": metrics_to_dict(PLAN_METRICS),
+                }
+            )
+        )
     else:
         print(f"{args.engine}: {preview}")
         for name, value in profile.as_dict().items():
             print(f"  {name}: {value}")
+        for name, value in metrics_to_dict(PLAN_METRICS).items():
+            print(f"  plan_cache[{name}]: {value}")
     return 0
 
 

@@ -6,6 +6,8 @@ This package is the substrate everything else builds on:
   union of edge labels;
 * :mod:`~repro.core.graph` -- the rooted edge-labeled graph (UnQL model)
   with the horizontal constructors ``empty`` / ``singleton`` / ``union``;
+* :mod:`~repro.core.frozen` -- the immutable CSR snapshot the fast query
+  kernel traverses (``Graph.freeze()``);
 * :mod:`~repro.core.oem` -- the leaf-value OEM variant with object ids;
 * :mod:`~repro.core.node_labeled` -- the node-labeled variant and its
   extra-edge reduction;
@@ -19,6 +21,7 @@ This package is the substrate everything else builds on:
 from .bisim import bisimilar, bisimulation_classes, graph_equal, reduce_graph
 from .builder import from_obj, render, to_obj, tree
 from .convert import graph_to_oem, oem_to_graph
+from .frozen import FrozenGraph, freeze
 from .graph import Edge, Graph, GraphError, disjoint_union
 from .labels import Label, LabelKind, boolean, integer, label_of, real, string, sym
 from .node_labeled import NodeLabeledGraph, from_edge_labeled, to_edge_labeled
@@ -37,6 +40,8 @@ __all__ = [
     "Edge",
     "Graph",
     "GraphError",
+    "FrozenGraph",
+    "freeze",
     "disjoint_union",
     "bisimilar",
     "graph_equal",

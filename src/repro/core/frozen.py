@@ -1,0 +1,329 @@
+"""Frozen CSR snapshots of a graph: the fast-path read layout.
+
+Angles & Gutierrez (PAPERS.md) identify *native, index-free adjacency*
+as the storage property that separates graph databases from graph-on-
+dictionary implementations.  :class:`Graph` stores adjacency as a dict of
+Python ``Edge`` lists -- ideal for construction and surgery, hostile to
+traversal: every ``edges_from`` call copies a tuple, every edge touch
+chases an object and hashes a :class:`~repro.core.labels.Label`.
+
+A :class:`FrozenGraph` is an immutable compressed-sparse-row (CSR)
+snapshot of the reachable-or-not *whole* node set of a graph:
+
+* labels are interned once into a dense ``label id`` space, so the hot
+  loops compare and hash small ints instead of Label dataclasses;
+* the adjacency is three flat :mod:`array` vectors (``offsets``,
+  ``targets``, ``label_ids``) in edge insertion order, so a node's
+  out-edges are one contiguous slice with no per-call allocation;
+* each node additionally carries a *per-label partition*: label id ->
+  the node's edge indices with that label, which is what lets the RPQ
+  product kernel (:mod:`repro.automata.product`) scan only the edges
+  whose label can advance the automaton.
+
+The read API mirrors :class:`Graph` (``edges_from`` / ``successors`` /
+``total_out_degree`` / ``reachable`` ...), so every read-only evaluator
+accepts either form; queries return the same node ids the source graph
+used.  There is no write API -- freeze once, query many times.  See
+docs/PERFORMANCE.md for when freezing pays off.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Iterable, Iterator
+
+from .graph import Edge, Graph, GraphError
+from .labels import Label
+
+__all__ = ["FrozenGraph", "freeze"]
+
+
+class FrozenGraph:
+    """An immutable CSR snapshot of a :class:`Graph`.
+
+    The public attributes are the kernel surface the automata product
+    reads directly (treat them as read-only):
+
+    * ``offsets[p] : offsets[p+1]`` -- the edge-index slice of the node
+      at position ``p``;
+    * ``targets[i]`` / ``label_ids[i]`` / ``srcs[i]`` -- destination
+      node id, interned label id, and source node id of edge ``i``;
+    * ``labels_seq`` -- label id -> :class:`Label`;
+    * ``label_index`` -- :class:`Label` -> label id;
+    * ``partitions[p]`` -- label id -> ``array`` of edge indices of the
+      node at position ``p`` (insertion order within each label);
+    * ``index`` -- node id -> position, or ``None`` when node ids are
+      already dense (``id == position``).
+    """
+
+    __slots__ = (
+        "node_ids",
+        "index",
+        "offsets",
+        "srcs",
+        "targets",
+        "label_ids",
+        "labels_seq",
+        "label_index",
+        "partitions",
+        "_root",
+        "_edge_cache",
+        "_by_label",
+        "_reachable_from_root",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        node_ids = list(graph.nodes())
+        n = len(node_ids)
+        dense = node_ids == list(range(n))
+        index: dict[int, int] | None = (
+            None if dense else {node: pos for pos, node in enumerate(node_ids)}
+        )
+        offsets = array("q", [0])
+        srcs = array("q")
+        targets = array("q")
+        label_ids = array("q")
+        labels_seq: list[Label] = []
+        label_index: dict[Label, int] = {}
+        partitions: list[dict[int, array]] = []
+        edge_i = 0
+        for node in node_ids:
+            part: dict[int, array] = {}
+            for edge in graph.edges_from(node):
+                lid = label_index.get(edge.label)
+                if lid is None:
+                    lid = label_index[edge.label] = len(labels_seq)
+                    labels_seq.append(edge.label)
+                srcs.append(edge.src)
+                targets.append(edge.dst)
+                label_ids.append(lid)
+                bucket = part.get(lid)
+                if bucket is None:
+                    bucket = part[lid] = array("q")
+                bucket.append(edge_i)
+                edge_i += 1
+            partitions.append(part)
+            offsets.append(edge_i)
+        self.node_ids = node_ids
+        self.index = index
+        self.offsets = offsets
+        self.srcs = srcs
+        self.targets = targets
+        self.label_ids = label_ids
+        self.labels_seq = labels_seq
+        self.label_index = label_index
+        self.partitions = partitions
+        self._root = graph._root if graph.has_root else None
+        self._edge_cache: dict[int, tuple[Edge, ...]] = {}
+        self._by_label: dict[int, tuple[Edge, ...]] | None = None
+        self._reachable_from_root: set[int] | None = None
+
+    # -- positions ------------------------------------------------------------
+
+    def _pos(self, node: int) -> int:
+        if self.index is None:
+            if 0 <= node < len(self.node_ids):
+                return node
+            raise GraphError(f"unknown node {node}")
+        try:
+            return self.index[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node}") from None
+
+    # -- the Graph read API ----------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        if self._root is None:
+            raise GraphError("graph has no root")
+        return self._root
+
+    @property
+    def has_root(self) -> bool:
+        return self._root is not None
+
+    def nodes(self) -> Iterator[int]:
+        """All node ids, in the source graph's allocation order."""
+        return iter(self.node_ids)
+
+    def has_node(self, node: int) -> bool:
+        if self.index is None:
+            return 0 <= node < len(self.node_ids)
+        return node in self.index
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+    def edges_from(self, node: int) -> tuple[Edge, ...]:
+        """The outgoing edges of ``node`` as :class:`Edge` objects.
+
+        Materialized lazily and memoized per node (the snapshot is
+        immutable, so the tuple never goes stale).  The kernel loops
+        avoid this method entirely and read the flat arrays instead.
+        """
+        pos = self._pos(node)
+        cached = self._edge_cache.get(pos)
+        if cached is None:
+            labels_seq = self.labels_seq
+            cached = tuple(
+                Edge(node, labels_seq[self.label_ids[i]], self.targets[i])
+                for i in range(self.offsets[pos], self.offsets[pos + 1])
+            )
+            self._edge_cache[pos] = cached
+        return cached
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges, grouped by source node (insertion order)."""
+        for node in self.node_ids:
+            yield from self.edges_from(node)
+
+    def out_degree(self, node: int) -> int:
+        pos = self._pos(node)
+        return self.offsets[pos + 1] - self.offsets[pos]
+
+    def total_out_degree(self, nodes: Iterable[int]) -> int:
+        """Sum of out-degrees over ``nodes`` (each counted as given)."""
+        offsets = self.offsets
+        if self.index is None:
+            return sum(offsets[node + 1] - offsets[node] for node in nodes)
+        idx = self.index
+        return sum(offsets[idx[node] + 1] - offsets[idx[node]] for node in nodes)
+
+    def successors(self, node: int, label: Label | None = None) -> Iterator[int]:
+        """Targets of outgoing edges, optionally restricted to one label."""
+        pos = self._pos(node)
+        targets = self.targets
+        if label is None:
+            for i in range(self.offsets[pos], self.offsets[pos + 1]):
+                yield targets[i]
+            return
+        lid = self.label_index.get(label)
+        if lid is None:
+            return
+        bucket = self.partitions[pos].get(lid)
+        if bucket is not None:
+            for i in bucket:
+                yield targets[i]
+
+    def labels_from(self, node: int) -> set[Label]:
+        """The set of distinct labels on edges out of ``node``."""
+        labels_seq = self.labels_seq
+        return {labels_seq[lid] for lid in self.partitions[self._pos(node)]}
+
+    def all_labels(self) -> set[Label]:
+        """Every distinct label appearing anywhere in the graph."""
+        return set(self.labels_seq)
+
+    # -- traversal ------------------------------------------------------------
+
+    def reachable(self, start: int | None = None) -> set[int]:
+        """Nodes reachable from ``start`` (default: root) by forward edges.
+
+        The root's reachable set is computed once and cached -- the
+        snapshot cannot change underneath it -- which is what makes
+        repeated browsing queries over one frozen graph cheap.
+        """
+        if start is None or (self._root is not None and start == self._root):
+            if self._reachable_from_root is None:
+                self._reachable_from_root = self._reachable_set(self.root)
+            return set(self._reachable_from_root)
+        return self._reachable_set(start)
+
+    def _reachable_set(self, origin: int) -> set[int]:
+        pos = self._pos(origin)  # validates the node
+        del pos
+        offsets, targets = self.offsets, self.targets
+        index = self.index
+        seen = {origin}
+        queue = deque([origin])
+        while queue:
+            node = queue.popleft()
+            p = node if index is None else index[node]
+            for i in range(offsets[p], offsets[p + 1]):
+                dst = targets[i]
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return seen
+
+    def bfs_edges(self, start: int | None = None) -> Iterator[Edge]:
+        """Edges in BFS discovery order from ``start`` (default: root)."""
+        origin = self.root if start is None else start
+        seen = {origin}
+        queue = deque([origin])
+        while queue:
+            node = queue.popleft()
+            for edge in self.edges_from(node):
+                yield edge
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    queue.append(edge.dst)
+
+    # -- label-partition lookups (the browse fast path) -------------------------
+
+    def edges_with_label(self, label: Label) -> tuple[Edge, ...]:
+        """Every edge carrying exactly ``label``, in insertion order.
+
+        Built lazily from the interned label space on first use; after
+        that each exact-label lookup is a dict hit, which is what turns
+        the section-1.3 browsing scans into point lookups over a frozen
+        graph (no :class:`~repro.index.GraphIndexes` needed).
+        """
+        lid = self.label_index.get(label)
+        if lid is None:
+            return ()
+        return self._label_edges(lid)
+
+    def _label_edges(self, lid: int) -> tuple[Edge, ...]:
+        if self._by_label is None:
+            self._by_label = {}
+        cached = self._by_label.get(lid)
+        if cached is None:
+            labels_seq, srcs, targets = self.labels_seq, self.srcs, self.targets
+            label = labels_seq[lid]
+            label_ids = self.label_ids
+            cached = tuple(
+                Edge(srcs[i], label, targets[i])
+                for i in range(len(label_ids))
+                if label_ids[i] == lid
+            )
+            self._by_label[lid] = cached
+        return cached
+
+    # -- misc -----------------------------------------------------------------
+
+    def freeze(self) -> "FrozenGraph":
+        """Freezing a frozen graph is the identity (convenience)."""
+        return self
+
+    def thaw(self) -> Graph:
+        """An equivalent mutable :class:`Graph` (same node ids)."""
+        g = Graph()
+        for node in self.node_ids:
+            g._adj[node] = []
+        g._next_id = max(self.node_ids, default=-1) + 1
+        for node in self.node_ids:
+            g._adj[node] = list(self.edges_from(node))
+        if self._root is not None:
+            g.set_root(self._root)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        root = self._root if self._root is not None else "?"
+        return (
+            f"<FrozenGraph root={root} nodes={self.num_nodes} "
+            f"edges={self.num_edges} labels={len(self.labels_seq)}>"
+        )
+
+
+def freeze(graph: "Graph | FrozenGraph") -> FrozenGraph:
+    """Snapshot ``graph`` as a :class:`FrozenGraph` (no-op when frozen)."""
+    if isinstance(graph, FrozenGraph):
+        return graph
+    return FrozenGraph(graph)

@@ -320,6 +320,18 @@ class Graph:
         """Drop everything not reachable from the root; returns a new graph."""
         return self.copy()
 
+    def freeze(self):
+        """An immutable CSR snapshot for the fast query kernel.
+
+        Returns a :class:`~repro.core.frozen.FrozenGraph`: interned
+        label ids, flat offset/target arrays, per-label edge partitions.
+        Same read API, same node ids, no write API.  Freeze once and
+        query many times; see docs/PERFORMANCE.md for the trade-off.
+        """
+        from .frozen import FrozenGraph
+
+        return FrozenGraph(self)
+
     def map_labels(self, fn: Callable[[Label], Label]) -> "Graph":
         """A copy with every edge label rewritten through ``fn``.
 

@@ -175,23 +175,30 @@ class _PathOracle:
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
-        self._dfas: dict[str, object] = {}
+        self._frozen = None
         self._cache: dict[tuple[int, str], frozenset[int]] = {}
 
     def targets(self, start: int, pattern: str) -> frozenset[int]:
         key = (start, pattern)
         cached = self._cache.get(key)
         if cached is None:
-            from ..automata.product import compile_rpq, rpq_nodes
+            from ..automata.plan_cache import DEFAULT_PLAN_CACHE
+            from ..automata.product import rpq_nodes
 
-            dfa = self._dfas.get(pattern)
-            if dfa is None:
-                dfa = compile_rpq(pattern)
-                self._dfas[pattern] = dfa
             if not self._graph.has_node(start):
                 cached = frozenset()
             else:
-                cached = frozenset(rpq_nodes(self._graph, dfa, start=start))
+                # freeze once per oracle (one fixpoint evaluation): path
+                # atoms fire for many (start, pattern) pairs over the
+                # same graph, which is the frozen kernel's sweet spot
+                if self._frozen is None:
+                    self._frozen = self._graph.freeze()
+                cached = frozenset(
+                    rpq_nodes(
+                        self._frozen, pattern, start=start,
+                        plan_cache=DEFAULT_PLAN_CACHE,
+                    )
+                )
             self._cache[key] = cached
         return cached
 

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..automata.dfa import LazyDfa
-from ..automata.product import _product_bfs, compile_rpq
+from ..automata.product import _ordered_edge_indices, _product_bfs, compile_rpq
 from ..obs import QueryProfile
 from ..resilience import (
     CircuitBreaker,
@@ -36,6 +38,9 @@ from ..resilience import (
     call_with_retry,
 )
 from .sites import DistributedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..automata.plan_cache import PlanCache
 
 __all__ = [
     "DistributedStats",
@@ -77,27 +82,41 @@ class DistributedStats:
 
 
 def distributed_rpq(
-    dist: DistributedGraph, pattern: "str | LazyDfa"
+    dist: DistributedGraph,
+    pattern: "str | LazyDfa",
+    *,
+    plan_cache: "PlanCache | None" = None,
 ) -> tuple[set[int], DistributedStats]:
     """Evaluate a regular path query by site-parallel decomposition.
 
     Returns the matched node set (identical to the centralized
     :func:`repro.automata.product.rpq_nodes` -- tested) and the work
     statistics of the BSP execution.
+
+    Each site's local expansion runs on the partition's cached frozen
+    snapshot through the label-pruned kernel, scanning edges in
+    insertion order -- so the message schedule, per-round work, and
+    every other statistic are identical to a plain-graph run; only the
+    wall-clock drops.
     """
-    dfa = compile_rpq(pattern)
-    graph = dist.graph
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
+    fg = dist.frozen()
+    site_of = dist.site_of
+    label_ids, edge_targets = fg.label_ids, fg.targets
+    labels_seq, index = fg.labels_seq, fg.index
     stats = DistributedStats(messages_per_site=[0] * dist.num_sites)
     results: set[int] = set()
     seen: set[tuple[int, int]] = set()
+    trans: dict[tuple[int, int], int] = {}
+    live_cache: dict = {}
 
-    root_site = dist.site_of[graph.root]
+    root_site = site_of[fg.root]
     inboxes: list[list[tuple[int, int]]] = [[] for _ in range(dist.num_sites)]
-    start = (graph.root, dfa.start)
+    start = (fg.root, dfa.start)
     inboxes[root_site].append(start)
     seen.add(start)
     if dfa.is_accepting(dfa.start):
-        results.add(graph.root)
+        results.add(fg.root)
 
     while any(inboxes):
         round_work = [0] * dist.num_sites
@@ -108,17 +127,25 @@ def distributed_rpq(
             while queue:
                 node, state = queue.pop()
                 round_work[site] += 1
-                for edge in graph.edges_from(node):
-                    nxt_state = dfa.step(state, edge.label)
-                    if dfa.is_dead(nxt_state):
+                pos = node if index is None else index[node]
+                for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+                    lid = label_ids[i]
+                    key = (state, lid)
+                    nxt_state = trans.get(key)
+                    if nxt_state is None:
+                        stepped = dfa.step(state, labels_seq[lid])
+                        nxt_state = -1 if dfa.is_dead(stepped) else stepped
+                        trans[key] = nxt_state
+                    if nxt_state < 0:
                         continue
-                    config = (edge.dst, nxt_state)
+                    dst = edge_targets[i]
+                    config = (dst, nxt_state)
                     if config in seen:
                         continue
                     seen.add(config)
                     if dfa.is_accepting(nxt_state):
-                        results.add(edge.dst)
-                    target_site = dist.site_of[edge.dst]
+                        results.add(dst)
+                    target_site = site_of[dst]
                     if target_site == site:
                         queue.append(config)
                     else:
@@ -274,6 +301,7 @@ def distributed_rpq_resilient(
     cooldown: float = 60.0,
     clock: "Clock | None" = None,
     events: "EventLog | None" = None,
+    plan_cache: "PlanCache | None" = None,
 ) -> tuple[set[int], DistributedStats, Completeness]:
     """:func:`distributed_rpq` that survives site failures.
 
@@ -292,7 +320,7 @@ def distributed_rpq_resilient(
 
     Returns ``(matched nodes, work stats, completeness report)``.
     """
-    dfa = compile_rpq(pattern)
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
     graph = dist.graph
     runtime = SiteRuntime(
         dist,
@@ -315,6 +343,13 @@ def distributed_rpq_resilient(
     if dfa.is_accepting(dfa.start):
         results.add(graph.root)
 
+    fg = dist.frozen()
+    site_of = dist.site_of
+    label_ids, edge_targets = fg.label_ids, fg.targets
+    labels_seq, index = fg.labels_seq, fg.index
+    trans: dict[tuple[int, int], int] = {}
+    live_cache: dict = {}
+
     while any(inboxes):
         round_work = [0] * dist.num_sites
         outboxes: list[list[tuple[int, int]]] = [[] for _ in range(dist.num_sites)]
@@ -327,17 +362,25 @@ def distributed_rpq_resilient(
             while queue:
                 node, state = queue.pop()
                 round_work[site] += 1
-                for edge in graph.edges_from(node):
-                    nxt_state = dfa.step(state, edge.label)
-                    if dfa.is_dead(nxt_state):
+                pos = node if index is None else index[node]
+                for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+                    lid = label_ids[i]
+                    key = (state, lid)
+                    nxt_state = trans.get(key)
+                    if nxt_state is None:
+                        stepped = dfa.step(state, labels_seq[lid])
+                        nxt_state = -1 if dfa.is_dead(stepped) else stepped
+                        trans[key] = nxt_state
+                    if nxt_state < 0:
                         continue
-                    config = (edge.dst, nxt_state)
+                    dst = edge_targets[i]
+                    config = (dst, nxt_state)
                     if config in seen:
                         continue
                     seen.add(config)
                     if dfa.is_accepting(nxt_state):
-                        results.add(edge.dst)
-                    target_site = dist.site_of[edge.dst]
+                        results.add(dst)
+                    target_site = site_of[dst]
                     if target_site == site:
                         queue.append(config)
                     else:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..core.frozen import FrozenGraph
 from ..core.graph import Edge, Graph
 
 __all__ = ["DistributedGraph", "partition_graph"]
@@ -35,12 +36,26 @@ class DistributedGraph:
     num_sites: int
     #: per site: nodes assigned to it
     members: list[set[int]] = field(default_factory=list)
+    _frozen: "FrozenGraph | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.members:
             self.members = [set() for _ in range(self.num_sites)]
             for node, site in self.site_of.items():
                 self.members[site].add(node)
+
+    def frozen(self) -> FrozenGraph:
+        """A cached CSR snapshot of the underlying graph.
+
+        The site assignment and the snapshot both describe the graph as
+        it stood at partition time -- mutating the graph invalidates the
+        partition itself and requires re-partitioning -- so caching the
+        snapshot on the partition is safe, and lets every decomposed
+        query over one partition share the frozen fast path.
+        """
+        if self._frozen is None:
+            self._frozen = self.graph.freeze()
+        return self._frozen
 
     def site_edges(self, site: int) -> list[Edge]:
         """All edges whose source lives on ``site``."""

@@ -21,6 +21,7 @@ from collections import deque
 
 from ..automata.dfa import LazyDfa
 from ..automata.nfa import build_nfa
+from ..automata.plan_cache import PlanCache
 from ..automata.regex import PathRegex
 from ..core.labels import sym
 from ..core.oem import OemDatabase, Oid
@@ -48,6 +49,12 @@ __all__ = [
 
 class LorelRuntimeError(ValueError):
     """Raised on evaluation errors (unknown aliases, bad bases...)."""
+
+
+#: Compiled path plans shared across unprofiled Lorel queries.  Profiled
+#: evaluation compiles fresh per runner so its ``dfa_states`` accounting
+#: (pinned by the golden-profile suite) is independent of query history.
+_PLAN_CACHE = PlanCache(name="lorel_plan_cache")
 
 
 def _oem_rpq(db: OemDatabase, start: Oid, dfa: LazyDfa) -> set[Oid]:
@@ -111,6 +118,42 @@ def _oem_rpq_profiled(
     return results
 
 
+def _oem_rpq_many(db: OemDatabase, starts: list[Oid], dfa: LazyDfa) -> dict[Oid, set[Oid]]:
+    """Batched :func:`_oem_rpq`: one tagged traversal serving many starts.
+
+    Configurations carry their origin, ``(start, oid, state)``, so each
+    start gets its own answer while all of them share the plan's
+    materialized states and truth vectors in a single queue -- this is
+    what turns Lorel's per-binding path conditions from one traversal
+    per environment into one traversal per clause.
+    """
+    order = list(dict.fromkeys(starts))
+    results: dict[Oid, set[Oid]] = {s: set() for s in order}
+    accept_start = dfa.is_accepting(dfa.start)
+    seen: set[tuple[Oid, Oid, int]] = set()
+    queue: deque[tuple[Oid, Oid, int]] = deque()
+    for s in order:
+        if accept_start:
+            results[s].add(s)
+        config = (s, s, dfa.start)
+        seen.add(config)
+        queue.append(config)
+    while queue:
+        tag, oid, state = queue.popleft()
+        for label, child in db.get(oid).children:
+            nxt = dfa.step(state, sym(label))
+            if dfa.is_dead(nxt):
+                continue
+            config = (tag, child, nxt)
+            if config in seen:
+                continue
+            seen.add(config)
+            if dfa.is_accepting(nxt):
+                results[tag].add(child)
+            queue.append(config)
+    return results
+
+
 class _Runner:
     def __init__(
         self, db: OemDatabase, db_name: str, profile: "QueryProfile | None" = None
@@ -119,15 +162,22 @@ class _Runner:
         self.db_name = db_name
         self.profile = profile
         self._dfas: dict[str, LazyDfa] = {}
+        # (path text, start oid) -> targets; unprofiled only, so profiled
+        # runs traverse afresh and report history-independent counts
+        self._memo: "dict[tuple[str, Oid], set[Oid]] | None" = (
+            {} if profile is None else None
+        )
 
     def dfa_of(self, path: PathRegex, text: str) -> LazyDfa:
         dfa = self._dfas.get(text)
         if dfa is None:
-            dfa = LazyDfa(build_nfa(path))
-            self._dfas[text] = dfa
-            if self.profile is not None:
+            if self.profile is None:
+                dfa = _PLAN_CACHE.get(text, lambda: LazyDfa(build_nfa(path)))
+            else:
+                dfa = LazyDfa(build_nfa(path))
                 # the fresh compile's start state is work this query did
                 self.profile.dfa_states += dfa.num_materialized_states
+            self._dfas[text] = dfa
         return dfa
 
     def start_of(self, base: str, env: dict[str, Oid]) -> Oid:
@@ -141,10 +191,33 @@ class _Runner:
         start = self.start_of(operand.base, env)
         if operand.path is None:
             return {start}
-        dfa = self.dfa_of(operand.path, operand.path_text)
         if self.profile is not None:
+            dfa = self.dfa_of(operand.path, operand.path_text)
             return _oem_rpq_profiled(self.db, start, dfa, self.profile)
-        return _oem_rpq(self.db, start, dfa)
+        assert self._memo is not None
+        key = (operand.path_text, start)
+        cached = self._memo.get(key)
+        if cached is None:
+            dfa = self.dfa_of(operand.path, operand.path_text)
+            cached = self._memo[key] = _oem_rpq(self.db, start, dfa)
+        return cached
+
+    def prefetch(self, operand: PathOperand, starts: list[Oid]) -> None:
+        """Batch-evaluate a path operand from many starts into the memo.
+
+        One :func:`_oem_rpq_many` call covers every start the memo has
+        not seen; later :meth:`path_targets` calls are dict hits.  A
+        no-op under profiling (counts must reflect per-binding work).
+        """
+        if self._memo is None or operand.path is None:
+            return
+        text = operand.path_text
+        missing = [s for s in dict.fromkeys(starts) if (text, s) not in self._memo]
+        if not missing:
+            return
+        dfa = self.dfa_of(operand.path, text)
+        for start, targets in _oem_rpq_many(self.db, missing, dfa).items():
+            self._memo[(text, start)] = targets
 
     # -- where ----------------------------------------------------------------
 
@@ -203,9 +276,14 @@ def _bindings_with_runner(query: LorelQuery, runner: _Runner) -> list[dict[str, 
     """The from/where core, against an existing runner (shared dfa cache)."""
     envs: list[dict[str, Oid]] = [{}]
     for clause in query.from_clauses:
+        operand = PathOperand(clause.base, clause.path, clause.path_text)
+        if runner.profile is None:
+            # batch all environments' starts through one tagged traversal
+            runner.prefetch(
+                operand, [runner.start_of(clause.base, env) for env in envs]
+            )
         nxt: list[dict[str, Oid]] = []
         for env in envs:
-            operand = PathOperand(clause.base, clause.path, clause.path_text)
             for oid in sorted(runner.path_targets(operand, env)):
                 extended = dict(env)
                 extended[clause.alias] = oid

@@ -19,6 +19,7 @@ import fnmatch
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
+from ..automata.plan_cache import PlanCache
 from ..automata.product import compile_rpq, rpq_nodes, rpq_nodes_profiled
 from ..core.graph import Graph
 from ..core.labels import Label, LabelKind
@@ -54,6 +55,30 @@ __all__ = [
 
 class UnqlRuntimeError(ValueError):
     """Raised on evaluation errors (unknown variables/sources...)."""
+
+
+#: Compiled regex-edge plans shared across unprofiled UnQL queries, keyed
+#: by the edge's source text.  Profiled evaluation compiles fresh so its
+#: golden-pinned ``dfa_states`` counts are independent of query history.
+_PLAN_CACHE = PlanCache(name="unql_plan_cache")
+
+
+def _frozen_for(graph: Graph, fcache: "dict | None"):
+    """The query-local frozen snapshot of ``graph`` (traversal use only).
+
+    Keyed by object identity and scoped to one evaluation, so a source
+    graph mutated between queries can never serve a stale snapshot.  The
+    graph itself is kept in the entry to pin its id.  Construct building
+    and tree-variable identity still use the original graph.
+    """
+    if fcache is None:
+        return graph
+    entry = fcache.get(id(graph))
+    if entry is None or entry[0] is not graph:
+        frozen = graph.freeze()
+        fcache[id(graph)] = (graph, frozen)
+        return frozen
+    return entry[1]
 
 
 @dataclass(frozen=True)
@@ -149,12 +174,15 @@ def _environments(
     sources: Mapping[str, Graph],
     profile: "QueryProfile | None" = None,
 ) -> Iterator[dict[str, object]]:
+    # unprofiled runs route regex-edge traversal through frozen snapshots
+    # (profiled runs stay on the plain graph so counts match the goldens)
+    fcache: "dict | None" = {} if profile is None else None
     envs: list[dict[str, object]] = [{}]
     for binding in query.bindings:
         envs = [
             extended
             for env in envs
-            for extended in _match_binding(binding, env, sources, profile)
+            for extended in _match_binding(binding, env, sources, profile, fcache)
         ]
         if not envs:
             return
@@ -168,6 +196,7 @@ def _match_binding(
     env: dict[str, object],
     sources: Mapping[str, Graph],
     profile: "QueryProfile | None" = None,
+    fcache: "dict | None" = None,
 ) -> Iterator[dict[str, object]]:
     if binding.source_is_var:
         bound = env.get(binding.source)
@@ -184,7 +213,7 @@ def _match_binding(
                 f"no database named {binding.source!r} was supplied"
             ) from None
         node = graph.root
-    yield from _match_pattern(binding.pattern, graph, node, env, profile)
+    yield from _match_pattern(binding.pattern, graph, node, env, profile, fcache)
 
 
 def _match_pattern(
@@ -193,6 +222,7 @@ def _match_pattern(
     node: int,
     env: dict[str, object],
     profile: "QueryProfile | None" = None,
+    fcache: "dict | None" = None,
 ) -> Iterator[dict[str, object]]:
     """All extensions of ``env`` under which ``pattern`` matches at ``node``."""
     envs = [env]
@@ -201,32 +231,46 @@ def _match_pattern(
         # An optimizer-annotated edge carries its target set precomputed
         # from the path index (see repro.unql.optimizer).
         precomputed = getattr(member.edge, "targets", None)
-        dfa = (
-            compile_rpq(member.edge.regex)
-            if precomputed is None and isinstance(member.edge, RegexEdge)
-            else None
-        )
-        if profile is not None and dfa is not None:
-            # a fresh compile: its start state is work this query did
-            profile.dfa_states += dfa.num_materialized_states
+        dfa = None
+        if precomputed is None and isinstance(member.edge, RegexEdge):
+            if profile is None:
+                edge = member.edge
+                dfa = _PLAN_CACHE.get(edge.text, lambda: compile_rpq(edge.regex))
+            else:
+                dfa = compile_rpq(member.edge.regex)
+                # a fresh compile: its start state is work this query did
+                profile.dfa_states += dfa.num_materialized_states
+        # The regex's target set depends only on (graph, node, dfa), not
+        # on the environment: evaluate it once for the whole env column
+        # rather than once per environment, over the frozen snapshot.
+        shared_targets = None
+        if dfa is not None and profile is None:
+            shared_targets = sorted(
+                rpq_nodes(_frozen_for(graph, fcache), dfa, start=node)
+            )
         for current in envs:
             if precomputed is not None:
                 if profile is not None:
                     profile.index_hits += 1
                 for target_node in sorted(precomputed):
                     next_envs.extend(
-                        _match_target(member.target, graph, target_node, current, profile)
+                        _match_target(
+                            member.target, graph, target_node, current, profile, fcache
+                        )
                     )
             elif dfa is not None:
-                if profile is None:
-                    targets = rpq_nodes(graph, dfa, start=node)
+                if shared_targets is not None:
+                    targets_sorted = shared_targets
                 else:
                     targets, _ = rpq_nodes_profiled(
                         graph, dfa, start=node, profile=profile
                     )
-                for target_node in sorted(targets):
+                    targets_sorted = sorted(targets)
+                for target_node in targets_sorted:
                     next_envs.extend(
-                        _match_target(member.target, graph, target_node, current, profile)
+                        _match_target(
+                            member.target, graph, target_node, current, profile, fcache
+                        )
                     )
             else:  # label variable edge: one step, binding the label
                 var = member.edge.var
@@ -241,7 +285,9 @@ def _match_pattern(
                     extended = dict(current)
                     extended[var] = edge.label
                     next_envs.extend(
-                        _match_target(member.target, graph, edge.dst, extended, profile)
+                        _match_target(
+                            member.target, graph, edge.dst, extended, profile, fcache
+                        )
                     )
         envs = next_envs
         if not envs:
@@ -255,6 +301,7 @@ def _match_target(
     node: int,
     env: dict[str, object],
     profile: "QueryProfile | None" = None,
+    fcache: "dict | None" = None,
 ) -> Iterator[dict[str, object]]:
     if isinstance(target, TreeVar):
         bound = env.get(target.var)
@@ -277,7 +324,7 @@ def _match_target(
             yield env
         return
     if isinstance(target, NestedPattern):
-        yield from _match_pattern(target.pattern, graph, node, env, profile)
+        yield from _match_pattern(target.pattern, graph, node, env, profile, fcache)
         return
     raise UnqlRuntimeError(f"unknown target {target!r}")
 

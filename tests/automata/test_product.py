@@ -128,6 +128,27 @@ class TestNaiveBaseline:
         g.add_edge(a, "n", a)
         assert naive_rpq(g, "n*", max_length=5) == {a}
 
+    def test_max_length_zero_checks_only_origin(self):
+        g = movie_graph()
+        assert naive_rpq(g, "()", max_length=0) == {g.root}
+        assert naive_rpq(g, "Entry", max_length=0) == set()
+
+    def test_deep_chain_does_not_recurse(self):
+        """A 50k-deep chain: the explicit-stack DFS must not hit the
+        interpreter recursion limit (the old implementation did)."""
+        depth = 50_000
+        g = Graph()
+        head = g.new_node()
+        g.set_root(head)
+        cur = head
+        for _ in range(depth):
+            nxt = g.new_node()
+            g.add_edge(cur, "next", nxt)
+            cur = nxt
+        hits = naive_rpq(g, "next*", max_length=depth)
+        assert len(hits) == depth + 1
+        assert hits == rpq_nodes(g, "next*")
+
 
 @st.composite
 def small_graphs(draw):

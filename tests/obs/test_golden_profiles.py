@@ -164,6 +164,26 @@ def test_profile_is_deterministic(case_id):
     assert compute_profile(case_id) == compute_profile(case_id)
 
 
+#: Cases whose runner accepts either graph layout directly (the RPQ and
+#: browse families; UnQL/Lorel/distributed go through their own wrappers).
+FROZEN_CASES = sorted(
+    case_id for case_id in CASES if "/rpq-" in case_id or "/find-" in case_id
+)
+
+
+@pytest.mark.parametrize("case_id", FROZEN_CASES)
+def test_frozen_kernel_matches_golden(case_id):
+    """The label-pruned frozen kernel reports byte-identical counts.
+
+    Pruning may only skip edges a full scan would have stepped into the
+    dead state, so the pinned plain-graph profiles double as the frozen
+    kernel's goldens -- same file, no regeneration allowed.
+    """
+    dataset_key, run = CASES[case_id]
+    frozen_profile = run(DATASETS[dataset_key]().freeze()).as_dict()
+    assert frozen_profile == load_golden()[case_id]
+
+
 def test_golden_file_has_no_stale_entries():
     assert set(load_golden()) == set(CASES)
 
