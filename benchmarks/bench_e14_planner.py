@@ -1,0 +1,272 @@
+"""E14 -- index-accelerated planning: what each routing decision buys.
+
+Four ablations over the PR-3 fast-path kernel, which is the *baseline*
+everywhere (frozen CSR snapshot, label-pruned traversal, warm plan
+cache) -- E14 measures only what the planner adds on top:
+
+* **routing vs kernel** -- selective queries through
+  :meth:`~repro.planner.QueryPlanner.rpq` (``auto``: path index, then
+  DataGuide product, then masked kernel) vs the same warm kernel;
+* **guide mask** -- the kernel with the guide-derived pruning mask vs
+  without, on patterns whose wildcard/negation guards defeat exact
+  label pruning (the mask is the only finite live-set there);
+* **Lorel pushdown** -- where-predicates resolved through the OEM value
+  groups seeding the binding stage, vs post-filtering;
+* **statistics reordering** -- frequency-driven clause costs vs the
+  shape heuristic on a query whose rare clause the heuristic cannot see.
+
+The acceptance gate: the planner beats the PR-3 kernel by >= 1.5x on at
+least two selective workloads.  ``BENCH_SMOKE=1`` shrinks the sweep and
+skips the ratio assertions (shared CI runners are too noisy to gate on).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.automata.plan_cache import PlanCache
+from repro.automata.product import rpq_nodes
+from repro.core.convert import graph_to_oem
+from repro.datasets import generate_movies, generate_web
+from repro.lorel import parse_lorel, reorder_from_clauses
+from repro.lorel.evaluator import lorel_bindings
+from repro.obs.export import write_bench
+from repro.obs.metrics import MetricsRegistry
+from repro.planner import QueryPlanner, oem_indexes_for
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+ENTRIES = 40 if SMOKE else 180
+PAGES = 40 if SMOKE else 200
+QUERY_REPEAT = 5 if SMOKE else 40
+
+#: The selective RPQ workloads: fixed paths the index answers in one
+#: lookup, and root-origin patterns the guide answers without touching
+#: the data graph.
+SELECTIVE = {
+    "movies": ["Entry.Movie.Title", "Entry.Movie.Year", "Entry._.Title"],
+    "web": ["title", "link.link.title", "link.keyword"],
+}
+
+_RECORDS: dict = {}
+
+
+def _datasets():
+    return {
+        "movies": generate_movies(ENTRIES, seed=23, reference_fraction=0.3),
+        "web": generate_web(PAGES, seed=7),
+    }
+
+
+def test_e14_routing_vs_kernel(benchmark):
+    """The headline: planner-routed selective queries vs the warm kernel."""
+    rows = []
+    speedups = []
+    planner = None
+    for name, g in _datasets().items():
+        fg = g.freeze()
+        cache = PlanCache(registry=MetricsRegistry())
+        planner = QueryPlanner(fg)
+        for pattern in SELECTIVE[name]:
+            planner.rpq(pattern)  # warm: plans, index/guide, masks
+
+            def kernel():
+                return [
+                    rpq_nodes(fg, pattern, plan_cache=cache)
+                    for _ in range(QUERY_REPEAT)
+                ]
+
+            def routed():
+                return [planner.rpq(pattern) for _ in range(QUERY_REPEAT)]
+
+            kernel_s, kernel_res = timed(kernel)
+            routed_s, routed_res = timed(routed)
+            assert routed_res == kernel_res
+            speedup = kernel_s / routed_s if routed_s else float("inf")
+            speedups.append(speedup)
+            _RECORDS.setdefault("routing", {})[f"{name}:{pattern}"] = {
+                "hits": len(kernel_res[0]),
+                "kernel_s": kernel_s,
+                "routed_s": routed_s,
+                "speedup": speedup,
+            }
+            rows.append(
+                (
+                    name,
+                    pattern,
+                    len(kernel_res[0]),
+                    f"{kernel_s * 1e3:.2f}ms",
+                    f"{routed_s * 1e3:.2f}ms",
+                    f"x{speedup:.1f}",
+                )
+            )
+    print_table(
+        f"E14a: planner routing vs warm kernel ({QUERY_REPEAT} calls each)",
+        ["dataset", "pattern", "hits", "kernel", "planner", "speedup"],
+        rows,
+    )
+    if not SMOKE:
+        # acceptance: >= 1.5x on at least two selective workloads
+        assert sum(s >= 1.5 for s in speedups) >= 2, speedups
+    pattern = SELECTIVE["web"][0]
+    benchmark(lambda: planner.rpq(pattern))
+
+
+def test_e14_guide_mask(benchmark):
+    """The masked kernel vs the unmasked one, where exact pruning fails."""
+    g = _datasets()["movies"]
+    planner = QueryPlanner(g)
+    patterns = ["Entry._.References._.Title", 'Entry.Movie.(!Movie)*."Allen"']
+    rows = []
+    for pattern in patterns:
+        planner.rpq(pattern, strategy="mask")  # warm plan + mask
+
+        def masked():
+            return [
+                planner.rpq(pattern, strategy="mask") for _ in range(QUERY_REPEAT)
+            ]
+
+        def unmasked():
+            return [
+                planner.rpq(pattern, strategy="kernel") for _ in range(QUERY_REPEAT)
+            ]
+
+        unmasked_s, unmasked_res = timed(unmasked)
+        masked_s, masked_res = timed(masked)
+        assert masked_res == unmasked_res
+        _RECORDS.setdefault("guide_mask", {})[pattern] = {
+            "hits": len(masked_res[0]),
+            "unmasked_s": unmasked_s,
+            "masked_s": masked_s,
+        }
+        rows.append(
+            (
+                pattern,
+                len(masked_res[0]),
+                f"{unmasked_s * 1e3:.2f}ms",
+                f"{masked_s * 1e3:.2f}ms",
+                f"x{unmasked_s / masked_s:.1f}" if masked_s else "-",
+            )
+        )
+    print_table(
+        f"E14b: guide-masked vs unmasked kernel (movies{ENTRIES})",
+        ["pattern", "hits", "unmasked", "masked", "unmasked/masked"],
+        rows,
+    )
+    benchmark(lambda: planner.rpq(patterns[0], strategy="mask"))
+
+
+def test_e14_lorel_pushdown(benchmark):
+    """Index-seeded bindings vs post-filtering on selective where-clauses."""
+    db = graph_to_oem(_datasets()["movies"])
+    indexes = oem_indexes_for(db)  # built once, amortized like the planner
+    queries = [
+        "select m.Title from DB.Entry.Movie m where m.Year < 1925",
+        "select m.Year from DB.Entry.Movie m where m.Title like '%Paris%'",
+    ]
+    rows = []
+    speedups = []
+    for text in queries:
+        query = parse_lorel(text)
+
+        def seeded():
+            return [
+                sorted(map(repr, lorel_bindings(query, db, indexes=indexes)))
+                for _ in range(QUERY_REPEAT)
+            ]
+
+        def postfiltered():
+            return [
+                sorted(map(repr, lorel_bindings(query, db)))
+                for _ in range(QUERY_REPEAT)
+            ]
+
+        plain_s, plain_res = timed(postfiltered)
+        seeded_s, seeded_res = timed(seeded)
+        assert seeded_res == plain_res
+        speedup = plain_s / seeded_s if seeded_s else float("inf")
+        speedups.append(speedup)
+        _RECORDS.setdefault("pushdown", {})[text] = {
+            "bindings": len(plain_res[0]),
+            "postfilter_s": plain_s,
+            "seeded_s": seeded_s,
+            "speedup": speedup,
+        }
+        rows.append(
+            (
+                text,
+                len(plain_res[0]),
+                f"{plain_s * 1e3:.2f}ms",
+                f"{seeded_s * 1e3:.2f}ms",
+                f"x{speedup:.1f}",
+            )
+        )
+    print_table(
+        f"E14c: index-seeded vs post-filtered Lorel (movies{ENTRIES} OEM)",
+        ["query", "bindings", "postfilter", "seeded", "speedup"],
+        rows,
+    )
+    if not SMOKE:
+        assert max(speedups) >= 1.5, speedups
+    query = parse_lorel(queries[0])
+    benchmark(lambda: lorel_bindings(query, db, indexes=indexes))
+
+
+def test_e14_stats_reordering(benchmark):
+    """Frequency-driven clause order vs the shape heuristic.
+
+    The two from clauses are shape-identical (two exact steps each), so
+    the heuristic keeps the broad ``Movie`` clause first; the statistics
+    see that ``Documentary`` matches nothing, bind it first, and empty
+    the environment set before any Movie is expanded.
+    """
+    db = graph_to_oem(_datasets()["movies"])
+    indexes = oem_indexes_for(db)
+    text = (
+        "select d.Title from DB.Entry.Movie m, DB.Entry.Documentary d "
+        "where m.Year < 1997"
+    )
+    query = parse_lorel(text)
+    heuristic = reorder_from_clauses(query)
+    informed = reorder_from_clauses(query, stats=indexes.stats)
+
+    def run(ordered):
+        return [
+            sorted(map(repr, lorel_bindings(ordered, db))) for _ in range(QUERY_REPEAT)
+        ]
+
+    heuristic_s, heuristic_res = timed(lambda: run(heuristic))
+    informed_s, informed_res = timed(lambda: run(informed))
+    assert informed_res == heuristic_res
+    speedup = heuristic_s / informed_s if informed_s else float("inf")
+    _RECORDS["reordering"] = {
+        "heuristic_order": [c.alias for c in heuristic.from_clauses],
+        "informed_order": [c.alias for c in informed.from_clauses],
+        "heuristic_s": heuristic_s,
+        "informed_s": informed_s,
+        "speedup": speedup,
+    }
+    print_table(
+        f"E14d: statistics-driven clause reordering (movies{ENTRIES} OEM)",
+        ["cost model", "order", "time", "speedup"],
+        [
+            ("shape heuristic", "->".join(_RECORDS["reordering"]["heuristic_order"]), f"{heuristic_s * 1e3:.2f}ms", ""),
+            ("frequencies", "->".join(_RECORDS["reordering"]["informed_order"]), f"{informed_s * 1e3:.2f}ms", f"x{speedup:.1f}"),
+        ],
+    )
+    if not SMOKE:
+        assert informed_s < heuristic_s
+
+    write_bench(
+        "e14_planner",
+        {
+            "entries": ENTRIES,
+            "pages": PAGES,
+            "query_repeat": QUERY_REPEAT,
+            "timings": _RECORDS,
+        },
+        Path(__file__).parent / "out",
+    )
+    benchmark(lambda: run(informed))

@@ -104,6 +104,7 @@ def rpq_nodes(
     start: int | None = None,
     *,
     plan_cache: "PlanCache | None" = None,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> set[int]:
     """All nodes reachable from ``start`` (default: root) by a matching path.
 
@@ -113,14 +114,24 @@ def rpq_nodes(
     graph for the label-pruned kernel, and a plan cache to amortize
     compilation across repeated string patterns -- both return the same
     node set as the plain path.
+
+    ``guide_mask`` is the planner's static pruning component (DFA state
+    -> label ids provably able to advance it on root-origin paths of
+    *this* snapshot).  It is only sound for traversals starting at the
+    snapshot's root and only applies to the frozen kernel; the planner is
+    the intended caller (:class:`repro.planner.QueryPlanner` checks both
+    conditions), and a mask passed alongside a plain graph is ignored.
     """
     dfa = compile_rpq(pattern, plan_cache=plan_cache)
     origin = graph.root if start is None else start
-    return _product_bfs(graph, dfa, origin)[0]
+    return _product_bfs(graph, dfa, origin, guide_mask)[0]
 
 
 def _product_bfs(
-    graph: "Graph | FrozenGraph", dfa: LazyDfa, origin: int
+    graph: "Graph | FrozenGraph",
+    dfa: LazyDfa,
+    origin: int,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[set[int], set[tuple[int, int]]]:
     """The shared BFS core: matched nodes plus every explored config.
 
@@ -129,7 +140,7 @@ def _product_bfs(
     so the hot loop itself carries no instrumentation.
     """
     if isinstance(graph, FrozenGraph):
-        return _product_bfs_frozen(graph, dfa, origin)
+        return _product_bfs_frozen(graph, dfa, origin, guide_mask)
     results: set[int] = set()
     initial = (origin, dfa.start)
     if dfa.is_accepting(dfa.start):
@@ -156,7 +167,11 @@ def _product_bfs(
 
 
 def _live_label_ids(
-    fg: FrozenGraph, dfa: LazyDfa, state: int, cache: dict
+    fg: FrozenGraph,
+    dfa: LazyDfa,
+    state: int,
+    cache: dict,
+    mask: "dict[int, frozenset[int]] | None" = None,
 ) -> "tuple[int, ...] | None":
     """``state``'s live alphabet as interned label ids, or ``None``.
 
@@ -165,6 +180,20 @@ def _live_label_ids(
     Labels the automaton can advance on but the graph never uses are
     dropped -- they cannot label any edge.  Cached per state because the
     answer only depends on the (immutable) NFA subset.
+
+    ``mask`` is the planner's guide-derived pruning component: per DFA
+    state, the label ids that can advance it *somewhere reachable from
+    the snapshot's root* (:meth:`repro.planner.QueryPlanner`).  It may
+    shrink an exact set further, and it turns an unbounded live set
+    (wildcard/negation guards) into a finite one -- but bounding is only
+    adopted when the mask rules out at least three quarters of the
+    vocabulary: per-partition probing costs per *label*, a full scan per
+    *edge*, so a barely-selective mask (``(!a)*`` allows almost every
+    label) would trade one contiguous scan for hundreds of probes.
+    Every label the mask excludes provably steps the automaton into the
+    dead state on any root-origin traversal, so masked answers are
+    identical to the unmasked scan -- the mask only skips the proving
+    work.
     """
     ids = cache.get(state, _UNSET)
     if ids is not _UNSET:
@@ -175,12 +204,25 @@ def _live_label_ids(
     else:
         label_index = fg.label_index
         ids = tuple(sorted(label_index[lab] for lab in live if lab in label_index))
+    if mask is not None:
+        allowed = mask.get(state)
+        if allowed is not None:
+            if ids is None:
+                if len(allowed) * 4 <= len(fg.labels_seq):
+                    ids = tuple(sorted(allowed))
+            else:
+                ids = tuple(lid for lid in ids if lid in allowed)
     cache[state] = ids
     return ids
 
 
 def _ordered_edge_indices(
-    fg: FrozenGraph, dfa: LazyDfa, state: int, pos: int, live_cache: dict
+    fg: FrozenGraph,
+    dfa: LazyDfa,
+    state: int,
+    pos: int,
+    live_cache: dict,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ):
     """The edge indices of the node at ``pos`` worth scanning from ``state``.
 
@@ -195,7 +237,7 @@ def _ordered_edge_indices(
     begin, end = offsets[pos], offsets[pos + 1]
     if begin == end:
         return ()
-    live = _live_label_ids(fg, dfa, state, live_cache)
+    live = _live_label_ids(fg, dfa, state, live_cache, guide_mask)
     if live is None:
         return range(begin, end)
     part = fg.partitions[pos]
@@ -215,7 +257,10 @@ def _ordered_edge_indices(
 
 
 def _product_bfs_frozen(
-    fg: FrozenGraph, dfa: LazyDfa, origin: int
+    fg: FrozenGraph,
+    dfa: LazyDfa,
+    origin: int,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[set[int], set[tuple[int, int]]]:
     """Label-pruned product BFS over the CSR layout.
 
@@ -243,7 +288,7 @@ def _product_bfs_frozen(
         begin, end = offsets[pos], offsets[pos + 1]
         if begin == end:
             continue
-        live = _live_label_ids(fg, dfa, state, live_cache)
+        live = _live_label_ids(fg, dfa, state, live_cache, guide_mask)
         if live is None:
             spans = (range(begin, end),)
         else:
@@ -305,6 +350,7 @@ def rpq_nodes_profiled(
     profile: "QueryProfile | None" = None,
     tracer=None,
     plan_cache: "PlanCache | None" = None,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[set[int], QueryProfile]:
     """:func:`rpq_nodes` plus a :class:`~repro.obs.QueryProfile`.
 
@@ -327,11 +373,11 @@ def rpq_nodes_profiled(
         )
     if tracer is not None:
         with tracer.span("rpq", query=profile.query) as span:
-            results, seen = _product_bfs(graph, dfa, origin)
+            results, seen = _product_bfs(graph, dfa, origin, guide_mask)
             _fill_product_counts(profile, graph, seen, states_before, dfa)
             span.annotate(results=len(results), product_pairs=len(seen))
     else:
-        results, seen = _product_bfs(graph, dfa, origin)
+        results, seen = _product_bfs(graph, dfa, origin, guide_mask)
         _fill_product_counts(profile, graph, seen, states_before, dfa)
     if owns_profile:
         # when accumulating into a caller's profile (UnQL/Lorel), the
@@ -479,6 +525,7 @@ def rpq_witnesses(
     start: int | None = None,
     *,
     plan_cache: "PlanCache | None" = None,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> dict[int, tuple[Edge, ...]]:
     """A shortest witness path for every node matched by the pattern.
 
@@ -488,14 +535,20 @@ def rpq_witnesses(
     where in the database something was found.  Witness choice is
     deterministic and layout-independent: the frozen kernel scans pruned
     edges in insertion order, so ties break exactly as on a plain graph.
+
+    ``guide_mask`` follows the :func:`rpq_nodes` contract: sound only for
+    root-origin traversals of the frozen snapshot it was computed for.
     """
     dfa = compile_rpq(pattern, plan_cache=plan_cache)
     origin = graph.root if start is None else start
-    return _witness_search(graph, dfa, origin)[0]
+    return _witness_search(graph, dfa, origin, guide_mask)[0]
 
 
 def _witness_search(
-    graph: "Graph | FrozenGraph", dfa: LazyDfa, origin: int
+    graph: "Graph | FrozenGraph",
+    dfa: LazyDfa,
+    origin: int,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[dict[int, tuple[Edge, ...]], dict]:
     """Shared witness BFS: the witness map plus the parents map.
 
@@ -505,7 +558,7 @@ def _witness_search(
     twice.
     """
     if isinstance(graph, FrozenGraph):
-        return _witness_search_frozen(graph, dfa, origin)
+        return _witness_search_frozen(graph, dfa, origin, guide_mask)
     parents: dict[tuple[int, int], tuple[tuple[int, int], Edge] | None] = {
         (origin, dfa.start): None
     }
@@ -531,7 +584,10 @@ def _witness_search(
 
 
 def _witness_search_frozen(
-    fg: FrozenGraph, dfa: LazyDfa, origin: int
+    fg: FrozenGraph,
+    dfa: LazyDfa,
+    origin: int,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[dict[int, tuple[Edge, ...]], dict]:
     """The label-pruned witness BFS (insertion-order edge scans)."""
     targets, label_ids = fg.targets, fg.label_ids
@@ -550,7 +606,7 @@ def _witness_search_frozen(
         config = queue.popleft()
         node, state = config
         pos = node if index is None else index[node]
-        for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+        for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache, guide_mask):
             lid = label_ids[i]
             key = (state, lid)
             nxt_state = trans.get(key)
@@ -589,6 +645,7 @@ def rpq_witnesses_profiled(
     *,
     profile: "QueryProfile | None" = None,
     plan_cache: "PlanCache | None" = None,
+    guide_mask: "dict[int, frozenset[int]] | None" = None,
 ) -> tuple[dict[int, tuple[Edge, ...]], QueryProfile]:
     """:func:`rpq_witnesses` plus its :class:`~repro.obs.QueryProfile`.
 
@@ -596,11 +653,12 @@ def rpq_witnesses_profiled(
     :func:`rpq_nodes` -- its ``parents`` map *is* the ``seen`` set -- so
     the counts come straight from the single search: no second traversal,
     and the two profiled entry points report identical numbers for the
-    same query (a cross-check the tests rely on).
+    same query (a cross-check the tests rely on).  ``guide_mask`` carries
+    the same root-origin contract as in :func:`rpq_nodes`.
     """
     dfa, states_before = _resolve_plan(pattern, plan_cache)
     origin = graph.root if start is None else start
-    witnesses, parents = _witness_search(graph, dfa, origin)
+    witnesses, parents = _witness_search(graph, dfa, origin, guide_mask)
     owns_profile = profile is None
     if profile is None:
         profile = QueryProfile(

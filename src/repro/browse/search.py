@@ -190,9 +190,17 @@ def find_attribute_names(
     return _attach_paths(graph, edges)
 
 
-def where_is(graph: Graph, value: "str | int | float | bool") -> list[str]:
-    """Human-oriented wrapper: dotted path strings for :func:`find_value`."""
-    return [str(f) for f in find_value(graph, value)]
+def where_is(
+    graph: Graph,
+    value: "str | int | float | bool",
+    indexes: GraphIndexes | None = None,
+) -> list[str]:
+    """Human-oriented wrapper: dotted path strings for :func:`find_value`.
+
+    ``indexes`` routes the probe through the value index (the planner's
+    browse delegation passes its own :class:`~repro.index.GraphIndexes`).
+    """
+    return [str(f) for f in find_value(graph, value, indexes)]
 
 
 # -- partial-result variants (the resilience contract) -------------------------

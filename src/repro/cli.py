@@ -129,10 +129,13 @@ def _cmd_stats(args) -> int:
     from .obs.export import metrics_to_dict, to_json
     from .storage import STORAGE_METRICS
 
+    from .planner import planner_for
+
     g = load_database(args.file)
     by_kind: dict[str, int] = {}
     for edge in g.edges():
         by_kind[edge.label.kind.value] = by_kind.get(edge.label.kind.value, 0) + 1
+    planner = planner_for(g)
     if args.json:
         payload = {
             "nodes": g.num_nodes,
@@ -141,6 +144,8 @@ def _cmd_stats(args) -> int:
             "labels": {k.value: by_kind[k.value] for k in LabelKind if k.value in by_kind},
             "storage": metrics_to_dict(STORAGE_METRICS),
             "plan_cache": metrics_to_dict(PLAN_METRICS),
+            "planner": planner.describe(),
+            "indexes": planner.indexes.accounting(),
         }
         print(to_json(payload))
         return 0
@@ -154,6 +159,10 @@ def _cmd_stats(args) -> int:
         print(f"storage[{name}]: {value}")
     for name, value in metrics_to_dict(PLAN_METRICS).items():
         print(f"plan_cache[{name}]: {value}")
+    described = planner.describe()
+    print(f"planner[guide_available]: {described['guide_available']}")
+    for name, value in sorted(described["statistics"].items()):  # type: ignore[union-attr]
+        print(f"planner[{name}]: {value}")
     return 0
 
 
@@ -161,8 +170,14 @@ def _cmd_profile(args) -> int:
     """Run one query under profiling; print its operation counts.
 
     ``--engine`` picks the evaluator: ``rpq`` (path regex), ``lorel``,
-    ``unql``, or ``find`` (the section-1.3 browse search).  ``--json``
-    emits the profile via :mod:`repro.obs.export` for scripting.
+    ``unql``, or ``find`` (the section-1.3 browse search).  ``--planner``
+    routes through the index-accelerated planner layer: rpq answers come
+    from the path index / DataGuide / guide-masked kernel, lorel pushes
+    where-predicates into the value groups, and find probes the value
+    index -- the profile then carries the planner's extras counters and
+    index hit/miss accounting.  (``unql --planner`` is a no-op: profiled
+    UnQL keeps the golden-pinned direct path; unprofiled UnQL already
+    plans.)  ``--json`` emits via :mod:`repro.obs.export` for scripting.
     """
     from .automata.plan_cache import DEFAULT_PLAN_CACHE, PLAN_METRICS
     from .browse import find_value_profiled
@@ -172,18 +187,33 @@ def _cmd_profile(args) -> int:
     from .unql import evaluate_query_profiled, parse_query
 
     g = load_database(args.file)
+    index_accounting: "dict[str, dict[str, int]] | None" = None
     if args.engine == "rpq":
-        from .automata.product import rpq_nodes_profiled
+        if args.planner:
+            from .planner import planner_for
 
-        results, profile = rpq_nodes_profiled(
-            g, args.query, plan_cache=DEFAULT_PLAN_CACHE
-        )
+            planner = planner_for(g, plan_cache=DEFAULT_PLAN_CACHE)
+            results, profile = planner.rpq_profiled(args.query)
+            index_accounting = planner.indexes.accounting()
+        else:
+            from .automata.product import rpq_nodes_profiled
+
+            results, profile = rpq_nodes_profiled(
+                g, args.query, plan_cache=DEFAULT_PLAN_CACHE
+            )
         preview = f"{len(results)} node(s)"
     elif args.engine == "lorel":
         db = graph_to_oem(g)
+        indexes = None
+        if args.planner:
+            from .planner import oem_indexes_for
+
+            indexes = oem_indexes_for(db)
         result, profile = evaluate_lorel_profiled(
-            parse_lorel(args.query), db, query_text=args.query
+            parse_lorel(args.query), db, query_text=args.query, indexes=indexes
         )
+        if indexes is not None:
+            index_accounting = {"oem_value_groups": indexes.accounting()}
         answer = result.get(result.lookup_name("Answer"))
         preview = f"answer with {len(answer.children)} member(s)"
     elif args.engine == "unql":
@@ -197,23 +227,33 @@ def _cmd_profile(args) -> int:
             value = json.loads(args.query)
         except json.JSONDecodeError:
             pass
-        findings, profile = find_value_profiled(g, value)
+        indexes = None
+        if args.planner:
+            from .index import GraphIndexes
+
+            indexes = GraphIndexes(g)
+        findings, profile = find_value_profiled(g, value, indexes)
+        if indexes is not None:
+            index_accounting = indexes.accounting()
         preview = f"{len(findings)} finding(s)"
     if args.json:
-        print(
-            to_json(
-                {
-                    "profile": profile.as_dict(),
-                    "plan_cache": metrics_to_dict(PLAN_METRICS),
-                }
-            )
-        )
+        payload: dict[str, object] = {
+            "profile": profile.as_dict(),
+            "plan_cache": metrics_to_dict(PLAN_METRICS),
+        }
+        if index_accounting is not None:
+            payload["indexes"] = index_accounting
+        print(to_json(payload))
     else:
         print(f"{args.engine}: {preview}")
         for name, value in profile.as_dict().items():
             print(f"  {name}: {value}")
         for name, value in metrics_to_dict(PLAN_METRICS).items():
             print(f"  plan_cache[{name}]: {value}")
+        if index_accounting is not None:
+            for index_name, counts in sorted(index_accounting.items()):
+                for name, value in sorted(counts.items()):
+                    print(f"  indexes[{index_name}.{name}]: {value}")
     return 0
 
 
@@ -313,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["rpq", "lorel", "unql", "find"],
         default="rpq",
         help="evaluator to profile (default: rpq path regex)",
+    )
+    p.add_argument(
+        "--planner",
+        action="store_true",
+        help="route through the index-accelerated planner (extras counters)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_profile)

@@ -31,12 +31,18 @@ from __future__ import annotations
 
 from array import array
 from collections import deque
+from itertools import count
 from typing import Iterable, Iterator
 
 from .graph import Edge, Graph, GraphError
 from .labels import Label
 
 __all__ = ["FrozenGraph", "freeze"]
+
+#: Process-wide snapshot id allocator: every FrozenGraph gets a distinct
+#: id, so caches keyed by ``snapshot_id`` can never confuse two snapshots
+#: (even of the same source graph at different versions).
+_SNAPSHOT_IDS = count(1)
 
 
 class FrozenGraph:
@@ -67,10 +73,13 @@ class FrozenGraph:
         "labels_seq",
         "label_index",
         "partitions",
+        "snapshot_id",
+        "source_version",
         "_root",
         "_edge_cache",
         "_by_label",
         "_reachable_from_root",
+        "_ext",
     )
 
     def __init__(self, graph: Graph) -> None:
@@ -115,9 +124,16 @@ class FrozenGraph:
         self.label_index = label_index
         self.partitions = partitions
         self._root = graph._root if graph.has_root else None
+        self.snapshot_id = next(_SNAPSHOT_IDS)
+        self.source_version = graph.version
         self._edge_cache: dict[int, tuple[Edge, ...]] = {}
         self._by_label: dict[int, tuple[Edge, ...]] | None = None
         self._reachable_from_root: set[int] | None = None
+        #: scratch space for per-snapshot derived structures (the query
+        #: planner's summary/statistics live here); FrozenGraph has
+        #: ``__slots__`` without ``__weakref__``, so extensions attach
+        #: through this dict instead of weak side tables.
+        self._ext: dict[str, object] = {}
 
     # -- positions ------------------------------------------------------------
 
@@ -142,6 +158,16 @@ class FrozenGraph:
     @property
     def has_root(self) -> bool:
         return self._root is not None
+
+    @property
+    def version(self) -> int:
+        """The source graph's version at freeze time (constant forever).
+
+        A frozen graph cannot mutate, so indexes built over it can never
+        go stale; exposing the frozen-time version keeps the staleness
+        protocol uniform across both layouts.
+        """
+        return self.source_version
 
     def nodes(self) -> Iterator[int]:
         """All node ids, in the source graph's allocation order."""

@@ -60,12 +60,25 @@ class Graph:
     :mod:`repro.unql.sstruct`) to express the query languages of the paper.
     """
 
-    __slots__ = ("_adj", "_root", "_next_id")
+    __slots__ = ("_adj", "_root", "_next_id", "_version")
 
     def __init__(self) -> None:
         self._adj: dict[int, list[Edge]] = {}
         self._root: int | None = None
         self._next_id = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every structural mutation.
+
+        Snapshots and indexes record the version they were built against
+        so staleness is detectable (:class:`~repro.index.StaleIndexError`)
+        instead of silently answering for an older graph.  Code that
+        mutates ``_adj`` directly (surgery helpers, lazy materialization)
+        bypasses the counter, same as it always bypassed index rebuilds.
+        """
+        return self._version
 
     # -- construction ---------------------------------------------------------
 
@@ -74,6 +87,7 @@ class Graph:
         node = self._next_id
         self._next_id += 1
         self._adj[node] = []
+        self._version += 1
         return node
 
     def add_edge(self, src: int, label: Label | str | int | float | bool, dst: int) -> Edge:
@@ -94,12 +108,14 @@ class Graph:
             lab = label_of(label)
         edge = Edge(src, lab, dst)
         self._adj[src].append(edge)
+        self._version += 1
         return edge
 
     def set_root(self, node: int) -> None:
         if node not in self._adj:
             raise GraphError(f"cannot root graph at unknown node {node}")
         self._root = node
+        self._version += 1
 
     @property
     def root(self) -> int:
@@ -296,6 +312,7 @@ class Graph:
                 self._adj[mapping[node]].append(
                     Edge(mapping[node], edge.label, mapping[edge.dst])
                 )
+        self._version += 1
         return mapping
 
     def copy(self) -> "Graph":
@@ -342,6 +359,7 @@ class Graph:
         g = self.copy()
         for node, out in g._adj.items():
             g._adj[node] = [Edge(e.src, fn(e.label), e.dst) for e in out]
+        g._version += 1
         return g
 
     def unfold(self, depth: int) -> "Graph":

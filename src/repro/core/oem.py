@@ -76,6 +76,17 @@ class OemDatabase:
         self._objects: dict[Oid, OemObject] = {}
         self._names: dict[str, Oid] = {}
         self._next_oid: Oid = 1
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every structural mutation.
+
+        The Lorel pushdown indexes (:mod:`repro.planner.pushdown`) record
+        the version they were built against and rebuild on mismatch, so a
+        mutated database never answers from a stale candidate set.
+        """
+        return self._version
 
     # -- construction ---------------------------------------------------------
 
@@ -86,6 +97,7 @@ class OemDatabase:
         oid = self._next_oid
         self._next_oid += 1
         self._objects[oid] = OemObject(oid, atom=value)
+        self._version += 1
         return oid
 
     def new_complex(self) -> Oid:
@@ -93,6 +105,7 @@ class OemDatabase:
         oid = self._next_oid
         self._next_oid += 1
         self._objects[oid] = OemObject(oid)
+        self._version += 1
         return oid
 
     def add_child(self, parent: Oid, label: str, child: Oid) -> None:
@@ -103,12 +116,14 @@ class OemDatabase:
         if child not in self._objects:
             raise OemError(f"unknown child oid {child}")
         pobj.children.append((label, child))
+        self._version += 1
 
     def set_name(self, name: str, oid: Oid) -> None:
         """Register ``oid`` as a named database entry point."""
         if oid not in self._objects:
             raise OemError(f"cannot name unknown oid {oid}")
         self._names[name] = oid
+        self._version += 1
 
     # -- inspection -----------------------------------------------------------
 

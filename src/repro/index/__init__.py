@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..core.graph import Graph
 from .label_index import LabelIndex
-from .path_index import PathIndex
+from .path_index import PathIndex, StaleIndexError
 from .text_index import TextIndex, tokenize
 from .value_index import ValueIndex
 
@@ -24,6 +24,7 @@ __all__ = [
     "ValueIndex",
     "TextIndex",
     "PathIndex",
+    "StaleIndexError",
     "GraphIndexes",
     "tokenize",
 ]
@@ -65,7 +66,12 @@ class GraphIndexes:
 
     @property
     def path(self) -> PathIndex:
-        if self._path is None:
+        if self._path is None or self._path.is_stale():
+            # unlike the other three (whose staleness is incompleteness,
+            # documented and pinned), a stale path index is *wrong*: its
+            # target sets may answer a covered path incorrectly.  The
+            # bundle rebuilds it transparently; direct PathIndex holders
+            # get StaleIndexError from lookup instead.
             self._path = PathIndex(self._graph, max_depth=self._path_depth)
         return self._path
 

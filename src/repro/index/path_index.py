@@ -12,6 +12,15 @@ schema-free model.
 On cyclic graphs the path language is infinite, so the index is depth-
 bounded; :attr:`PathIndex.max_depth` records the bound and lookups longer
 than it fall back to ``None`` ("not covered"), never to a wrong answer.
+
+The index snapshots the graph at construction and records the graph's
+``version``; if the graph mutates afterwards, every lookup raises
+:class:`StaleIndexError` instead of silently answering for the old graph
+(a path index is a *positional* structure -- after an ``add_edge`` its
+target sets are simply wrong, unlike the label/value/text indexes whose
+staleness is merely incompleteness).  :class:`~repro.index.GraphIndexes`
+catches the mismatch and rebuilds transparently; direct holders call
+:meth:`PathIndex.is_stale` / rebuild themselves.
 """
 
 from __future__ import annotations
@@ -21,7 +30,17 @@ from collections import deque
 from ..core.graph import Graph
 from ..core.labels import Label
 
-__all__ = ["PathIndex"]
+__all__ = ["PathIndex", "StaleIndexError"]
+
+
+class StaleIndexError(RuntimeError):
+    """The indexed graph mutated after the index was built.
+
+    Raised by :meth:`PathIndex.lookup` (and friends) when the graph's
+    ``version`` no longer matches the one recorded at build time.  The
+    caller must rebuild the index (or go through
+    :class:`~repro.index.GraphIndexes`, which rebuilds automatically).
+    """
 
 
 class PathIndex:
@@ -37,6 +56,7 @@ class PathIndex:
         if max_depth < 0:
             raise ValueError("max_depth must be non-negative")
         self._graph = graph
+        self._built_version = getattr(graph, "version", 0)
         self.max_depth = max_depth
         self.hits = 0
         self.misses = 0
@@ -56,13 +76,29 @@ class PathIndex:
                     seen.add(state)
                     frontier.append(state)
 
+    def is_stale(self) -> bool:
+        """True iff the source graph mutated since the index was built."""
+        return getattr(self._graph, "version", 0) != self._built_version
+
+    def _check_fresh(self) -> None:
+        if self.is_stale():
+            raise StaleIndexError(
+                "path index is stale: the graph mutated after the index "
+                f"was built (version {self._built_version} -> "
+                f"{getattr(self._graph, 'version', 0)}); rebuild it or use "
+                "GraphIndexes, which rebuilds automatically"
+            )
+
     def lookup(self, path: tuple[Label, ...]) -> frozenset[int] | None:
         """Nodes reached by ``path`` from the root.
 
         Returns ``None`` (not the empty set) when the path is longer than
         the index covers; the caller must fall back to traversal.  An
         in-bound path that reaches nothing returns ``frozenset()``.
+        Raises :class:`StaleIndexError` when the graph has mutated since
+        the index was built.
         """
+        self._check_fresh()
         if len(path) > self.max_depth:
             self.misses += 1
             return None
@@ -70,6 +106,7 @@ class PathIndex:
         return frozenset(self._paths.get(path, ()))
 
     def covers(self, path: tuple[Label, ...]) -> bool:
+        self._check_fresh()
         return len(path) <= self.max_depth
 
     def path_vocabulary(self) -> list[tuple[Label, ...]]:

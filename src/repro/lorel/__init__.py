@@ -46,19 +46,36 @@ __all__ = [
 
 
 def lorel(
-    text: str, db: OemDatabase, db_name: str = "DB", optimize: bool = True
+    text: str,
+    db: OemDatabase,
+    db_name: str = "DB",
+    optimize: bool = True,
+    use_indexes: bool = True,
 ) -> OemDatabase:
     """Parse and evaluate a Lorel query against an OEM database.
 
     Returns the answer as a new OEM database named ``Answer`` whose root
     holds one ``row`` child per result.  ``optimize=True`` applies the
-    dependency-safe from-clause reordering (answers are identical either
-    way -- tested).
+    dependency-safe from-clause reordering; ``use_indexes=True``
+    additionally routes through the planner layer: the cached
+    :class:`~repro.planner.OemIndexes` of ``db`` (rebuilt automatically
+    when the database mutates) push selective where-conjuncts down into
+    the binding stage, and the snapshot's
+    :class:`~repro.planner.GraphStatistics` switch the reordering to the
+    frequency-driven cost model.  Answers are identical under every
+    flag combination -- tested.
     """
     query = parse_lorel(text)
+    indexes = None
+    if use_indexes:
+        from ..planner.pushdown import oem_indexes_for
+
+        indexes = oem_indexes_for(db)
     if optimize:
-        query = reorder_from_clauses(query)
-    return evaluate_lorel(query, db, db_name)
+        query = reorder_from_clauses(
+            query, stats=indexes.stats if indexes is not None else None
+        )
+    return evaluate_lorel(query, db, db_name, indexes=indexes)
 
 
 def lorel_rows(answer: OemDatabase) -> list[dict[str, list[object]]]:

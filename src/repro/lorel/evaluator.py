@@ -272,19 +272,67 @@ class _Complex:
 _COMPLEX = _Complex()
 
 
-def _bindings_with_runner(query: LorelQuery, runner: _Runner) -> list[dict[str, Oid]]:
-    """The from/where core, against an existing runner (shared dfa cache)."""
+def _bindings_with_runner(
+    query: LorelQuery, runner: _Runner, indexes=None
+) -> list[dict[str, Oid]]:
+    """The from/where core, against an existing runner (shared dfa cache).
+
+    With ``indexes`` (a :class:`repro.planner.pushdown.OemIndexes`), the
+    pushable where-conjuncts are resolved into per-alias candidate oid
+    sets *before* binding, and each alias binds only to targets inside
+    its candidate set -- predicate pushdown.  The full where clause
+    still filters the survivors, so the answer is identical to the
+    post-filtering evaluation (asserted by the planner property suite);
+    pushdown only shrinks the environment sets the later clauses and the
+    residual filter have to process.
+    """
+    candidates: dict[str, set[Oid]] = {}
+    if indexes is not None and query.where is not None:
+        from ..planner.pushdown import pushdown_candidates
+
+        candidates = pushdown_candidates(query, indexes, runner.db_name)
     envs: list[dict[str, Oid]] = [{}]
     for clause in query.from_clauses:
         operand = PathOperand(clause.base, clause.path, clause.path_text)
-        if runner.profile is None:
+        allowed = candidates.get(clause.alias)
+        if allowed is not None and runner.profile is not None:
+            runner.profile.extras["index_seeded"] = (
+                runner.profile.extras.get("index_seeded", 0) + 1
+            )
+        # When the clause path is a fixed symbol chain, a seeded clause
+        # skips the forward traversal entirely: a candidate binds iff the
+        # reverse walk from it over the chain reaches the clause's start,
+        # which the index answers from its parent map.  The two
+        # enumerations produce the same sorted oid set -- the candidate
+        # set is exact per conjunct and the reverse walk is exact per
+        # path -- so only the work changes (the property suite compares
+        # whole binding lists).
+        sources_of: "dict[Oid, set[Oid]] | None" = None
+        if allowed is not None:
+            from ..planner.pushdown import fixed_symbol_path
+
+            fixed = fixed_symbol_path(clause.path)
+            if fixed is not None:
+                sources_of = {
+                    oid: indexes.sources_via({oid}, fixed) for oid in allowed
+                }
+        if runner.profile is None and sources_of is None:
             # batch all environments' starts through one tagged traversal
             runner.prefetch(
                 operand, [runner.start_of(clause.base, env) for env in envs]
             )
         nxt: list[dict[str, Oid]] = []
         for env in envs:
-            for oid in sorted(runner.path_targets(operand, env)):
+            if sources_of is not None:
+                start = runner.start_of(clause.base, env)
+                targets = (o for o, srcs in sources_of.items() if start in srcs)
+            else:
+                targets = (
+                    oid
+                    for oid in runner.path_targets(operand, env)
+                    if allowed is None or oid in allowed
+                )
+            for oid in sorted(targets):
                 extended = dict(env)
                 extended[clause.alias] = oid
                 nxt.append(extended)
@@ -297,10 +345,14 @@ def _bindings_with_runner(query: LorelQuery, runner: _Runner) -> list[dict[str, 
 
 
 def lorel_bindings(
-    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+    query: LorelQuery, db: OemDatabase, db_name: str = "DB", *, indexes=None
 ) -> list[dict[str, Oid]]:
-    """The alias environments the from/where clauses produce."""
-    return _bindings_with_runner(query, _Runner(db, db_name))
+    """The alias environments the from/where clauses produce.
+
+    ``indexes`` (a :class:`repro.planner.pushdown.OemIndexes`) enables
+    predicate pushdown; answers are identical with or without it.
+    """
+    return _bindings_with_runner(query, _Runner(db, db_name), indexes)
 
 
 def lorel_bindings_profiled(
@@ -309,15 +361,18 @@ def lorel_bindings_profiled(
     db_name: str = "DB",
     *,
     query_text: str = "",
+    indexes=None,
 ) -> tuple[list[dict[str, Oid]], QueryProfile]:
     """:func:`lorel_bindings` plus a :class:`~repro.obs.QueryProfile`.
 
     Counts cover every OEM product traversal the from/where clauses ran
     (objects visited, child edges scanned, configurations explored, DFA
-    states materialized) and the environments produced.
+    states materialized) and the environments produced.  With
+    ``indexes``, pushdown-seeded clauses add an ``index_seeded`` extra
+    (the golden suite passes no indexes, so its profiles are untouched).
     """
     profile = QueryProfile(engine="lorel", query=query_text)
-    envs = _bindings_with_runner(query, _Runner(db, db_name, profile))
+    envs = _bindings_with_runner(query, _Runner(db, db_name, profile), indexes)
     profile.bindings_produced = len(envs)
     profile.results = len(envs)
     return envs, profile
@@ -357,11 +412,15 @@ def _construct_answer(
 
 
 def evaluate_lorel(
-    query: LorelQuery, db: OemDatabase, db_name: str = "DB"
+    query: LorelQuery, db: OemDatabase, db_name: str = "DB", *, indexes=None
 ) -> OemDatabase:
-    """Run a parsed query; the result is an OEM database named ``Answer``."""
+    """Run a parsed query; the result is an OEM database named ``Answer``.
+
+    ``indexes`` (a :class:`repro.planner.pushdown.OemIndexes`) enables
+    where-clause pushdown; the answer database is identical either way.
+    """
     runner = _Runner(db, db_name)
-    envs = _bindings_with_runner(query, runner)
+    envs = _bindings_with_runner(query, runner, indexes)
     return _construct_answer(query, db, runner, envs)
 
 
@@ -372,6 +431,7 @@ def evaluate_lorel_profiled(
     *,
     query_text: str = "",
     tracer=None,
+    indexes=None,
 ) -> tuple[OemDatabase, QueryProfile]:
     """:func:`evaluate_lorel` plus a :class:`~repro.obs.QueryProfile`.
 
@@ -385,7 +445,7 @@ def evaluate_lorel_profiled(
     runner = _Runner(db, db_name, profile)
 
     def run() -> OemDatabase:
-        envs = _bindings_with_runner(query, runner)
+        envs = _bindings_with_runner(query, runner, indexes)
         profile.bindings_produced = len(envs)
         answer = _construct_answer(query, db, runner, envs)
         profile.results = len(envs)

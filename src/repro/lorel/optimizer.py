@@ -7,6 +7,14 @@ chain of exact labels is more selective and cheaper to expand than one
 with ``#`` or wildcards, so it should bind first, shrinking the
 environment set every later clause multiplies against.
 
+Two cost models drive the ordering.  Without statistics, a *shape
+heuristic* (exact steps cheap, stars expensive).  With a
+:class:`~repro.planner.GraphStatistics` snapshot, the *data* decides:
+clause cost is the estimated path cardinality from actual label
+frequencies, so a clause over a rare label beats a structurally simpler
+clause over a ubiquitous one -- and a clause over an *absent* label
+costs 0 and binds first, emptying the environment set immediately.
+
 Only orderings that respect *dependencies* (a clause whose base is an
 alias must follow the clause that binds the alias) are considered, so the
 rewrite never changes the answer -- tested against the unoptimized order.
@@ -14,14 +22,26 @@ rewrite never changes the answer -- tested against the unoptimized order.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..automata.regex import AtomRE, ConcatRE, PathRegex, StarRE
 from .ast import FromClause, LorelQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner.stats import GraphStatistics
 
 __all__ = ["clause_cost", "reorder_from_clauses"]
 
 
-def clause_cost(path: "PathRegex | None") -> float:
-    """A heuristic cost: exact steps are cheap, stars/wildcards expensive."""
+def clause_cost(path: "PathRegex | None", stats: "GraphStatistics | None" = None) -> float:
+    """The ordering cost of a from-clause path.
+
+    With ``stats``, the estimated match cardinality over the actual
+    label frequencies; without, the original shape heuristic (exact
+    steps are cheap, stars/wildcards expensive).
+    """
+    if stats is not None:
+        return stats.cardinality(path)
     if path is None:
         return 0.0
     if isinstance(path, AtomRE):
@@ -35,8 +55,15 @@ def clause_cost(path: "PathRegex | None") -> float:
     return 4.0 + sum(clause_cost(p) for p in parts)
 
 
-def reorder_from_clauses(query: LorelQuery) -> LorelQuery:
-    """Greedy cheapest-first ordering of from clauses, dependency-safe."""
+def reorder_from_clauses(
+    query: LorelQuery, stats: "GraphStatistics | None" = None
+) -> LorelQuery:
+    """Greedy cheapest-first ordering of from clauses, dependency-safe.
+
+    ``stats`` switches :func:`clause_cost` to the statistics-driven
+    estimator; the ordering stays dependency-safe either way, so the
+    answer never changes -- only the work.
+    """
     remaining = list(query.from_clauses)
     bound: set[str] = set()
     ordered: list[FromClause] = []
@@ -48,7 +75,7 @@ def reorder_from_clauses(query: LorelQuery) -> LorelQuery:
         ]
         if not ready:  # dependency knot (shadowed alias): keep given order
             ready = [remaining[0]]
-        best = min(ready, key=lambda c: (clause_cost(c.path), remaining.index(c)))
+        best = min(ready, key=lambda c: (clause_cost(c.path, stats), remaining.index(c)))
         remaining.remove(best)
         ordered.append(best)
         bound.add(best.alias)

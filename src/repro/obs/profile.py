@@ -66,6 +66,13 @@ class QueryProfile:
     ``complete`` carries the partial-result verdict (False when a
     degraded engine lost regions); ``extras`` holds engine-specific
     counts (e.g. per-site message totals) without schema changes.
+    Planner-issued profiles (:mod:`repro.planner`) report their routing
+    there: ``index_answered`` / ``guide_answered`` mark a query answered
+    entirely from the path index or DataGuide, ``guide_pruned_partitions``
+    is the guide mask's static pruning strength on a kernel traversal,
+    and ``index_seeded`` counts Lorel binding clauses seeded from pushed
+    where-predicates.  The golden suite's direct engine paths never set
+    these, so pinned profiles are unaffected.
     """
 
     engine: str = ""

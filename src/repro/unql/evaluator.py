@@ -243,11 +243,19 @@ def _match_pattern(
         # The regex's target set depends only on (graph, node, dfa), not
         # on the environment: evaluate it once for the whole env column
         # rather than once per environment, over the frozen snapshot.
+        # Root-origin edges additionally route through the planner, which
+        # answers from the path index or DataGuide when they cover the
+        # pattern and otherwise guide-prunes the kernel traversal.
         shared_targets = None
         if dfa is not None and profile is None:
-            shared_targets = sorted(
-                rpq_nodes(_frozen_for(graph, fcache), dfa, start=node)
-            )
+            frozen = _frozen_for(graph, fcache)
+            if node == graph.root:
+                from ..planner import planner_for
+
+                planner = planner_for(frozen, plan_cache=_PLAN_CACHE)
+                shared_targets = sorted(planner.rpq(member.edge.text))
+            else:
+                shared_targets = sorted(rpq_nodes(frozen, dfa, start=node))
         for current in envs:
             if precomputed is not None:
                 if profile is not None:

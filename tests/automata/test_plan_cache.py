@@ -119,6 +119,7 @@ class TestMetrics:
             "hits": 0,
             "misses": 1,
             "evictions": 0,
+            "prunings": 0,
         }
 
 

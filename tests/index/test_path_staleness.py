@@ -1,0 +1,54 @@
+"""Regression: a stale path index must never answer for the old graph.
+
+The path index is positional -- after a mutation its target sets are
+simply *wrong* (unlike label/value/text staleness, which is documented
+incompleteness).  Direct holders get :class:`StaleIndexError`;
+:class:`GraphIndexes` rebuilds transparently; frozen snapshots are
+immutable, so an index over one can never go stale.
+"""
+
+import pytest
+
+from repro.core.builder import from_obj
+from repro.core.labels import sym
+from repro.index import GraphIndexes, PathIndex, StaleIndexError
+
+
+def build_graph():
+    return from_obj({"Entry": {"Movie": {"Title": "Casablanca"}}})
+
+
+def test_lookup_raises_after_mutation():
+    g = build_graph()
+    index = PathIndex(g)
+    path = (sym("Entry"), sym("Movie"))
+    assert len(index.lookup(path)) == 1
+    assert not index.is_stale()
+    g.add_edge(g.root, "Extra", g.new_node())
+    assert index.is_stale()
+    with pytest.raises(StaleIndexError, match="rebuild"):
+        index.lookup(path)
+    with pytest.raises(StaleIndexError):
+        index.covers(path)
+
+
+def test_graph_indexes_rebuild_transparently():
+    g = build_graph()
+    indexes = GraphIndexes(g)
+    first = indexes.path
+    assert first.lookup((sym("Entry"),))
+    node = g.new_node()
+    g.add_edge(g.root, "Extra", node)
+    rebuilt = indexes.path
+    assert rebuilt is not first
+    assert rebuilt.lookup((sym("Extra"),)) == frozenset({node})
+
+
+def test_frozen_snapshot_index_never_goes_stale():
+    g = build_graph()
+    fg = g.freeze()
+    index = PathIndex(fg)
+    g.add_edge(g.root, "Extra", g.new_node())
+    # the snapshot did not move; the index over it stays valid
+    assert not index.is_stale()
+    assert index.lookup((sym("Entry"),))

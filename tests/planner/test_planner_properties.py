@@ -1,0 +1,119 @@
+"""Property tests: the planner is *observationally invisible*.
+
+Whatever route the planner picks -- path index, DataGuide product,
+guide-masked kernel, plain kernel -- the answer must equal the direct
+kernel on the same snapshot, over arbitrary graphs and every guard
+shape (exact, alternation, closure, wildcard ``#``/``_``, negation,
+globs).  Same for Lorel: the index-seeded evaluator must equal the
+post-filtering one on arbitrary databases and where-clause bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.product import rpq_nodes, rpq_witnesses
+from repro.core.graph import Graph
+from repro.core.oem import OemDatabase
+from repro.lorel import lorel, lorel_rows
+from repro.planner import QueryPlanner
+
+#: Guard shapes including the unbounded live sets (``#``, ``_``, ``!a``,
+#: globs) where the guide mask is the only finite pruning available.
+PATTERNS = [
+    "a",
+    "a.b",
+    "a*",
+    "(a|b)*",
+    "a.b*",
+    "#.a",
+    "_.b",
+    "!a",
+    "(a.b)+",
+    "a.(!b)*.a",
+    "%a",
+    "a.#",
+]
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(2, 6))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(1, 10))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(["a", "b", "c", "ca"])),
+            draw(st.sampled_from(nodes)),
+        )
+    return g
+
+
+@given(small_graphs(), st.sampled_from(PATTERNS))
+@settings(max_examples=150, deadline=None)
+def test_prop_planner_routes_equal_direct_kernel(g, pattern):
+    planner = QueryPlanner(g)
+    expected = rpq_nodes(planner.graph, pattern)
+    for strategy in ("auto", "mask", "kernel"):
+        assert planner.rpq(pattern, strategy=strategy) == expected, strategy
+    if planner.guide is not None:
+        assert planner.rpq(pattern, strategy="guide") == expected
+
+
+@given(small_graphs(), st.sampled_from(PATTERNS))
+@settings(max_examples=100, deadline=None)
+def test_prop_masked_witnesses_equal_unmasked(g, pattern):
+    planner = QueryPlanner(g)
+    assert planner.witnesses(pattern) == rpq_witnesses(planner.graph, pattern)
+
+
+@given(small_graphs(), st.sampled_from(PATTERNS))
+@settings(max_examples=100, deadline=None)
+def test_prop_profiled_routes_equal_direct_kernel(g, pattern):
+    planner = QueryPlanner(g)
+    expected = rpq_nodes(planner.graph, pattern)
+    results, profile = planner.rpq_profiled(pattern)
+    assert results == expected
+    assert profile.results == len(expected)
+    witnesses, _ = planner.witnesses_profiled(pattern)
+    assert witnesses == rpq_witnesses(planner.graph, pattern)
+
+
+@st.composite
+def movie_dbs(draw):
+    titles = ["Casablanca", "Heat", "Ran", "Alien", "Brazil"]
+    entries = []
+    for _ in range(draw(st.integers(1, 5))):
+        movie = {
+            "Title": draw(st.sampled_from(titles)),
+            "Year": draw(st.integers(1930, 2000)),
+        }
+        if draw(st.booleans()):
+            movie["Rating"] = draw(st.floats(0, 10, allow_nan=False))
+        entries.append({"Movie": movie})
+    return OemDatabase.from_obj({"Entry": entries})
+
+
+LOREL_TEMPLATES = [
+    "select m.Title from DB.Entry.Movie m where m.Year < {bound}",
+    "select m.Title from DB.Entry.Movie m where {bound} <= m.Year",
+    "select m.Year from DB.Entry.Movie m where m.Title like '%a%'",
+    "select m.Title from DB.Entry.Movie m "
+    "where m.Year > {bound} and m.Title like '%n%'",
+    "select m.Title from DB.Entry.Movie m "
+    "where m.Year > {bound} or m.Title = 'Heat'",
+    "select m.Title, m.Year from DB.Entry.Movie m",
+]
+
+
+@given(movie_dbs(), st.sampled_from(LOREL_TEMPLATES), st.integers(1930, 2000))
+@settings(max_examples=100, deadline=None)
+def test_prop_index_seeded_lorel_equals_postfiltered(db, template, bound):
+    text = template.format(bound=bound)
+    seeded = sorted(map(repr, lorel_rows(lorel(text, db, use_indexes=True))))
+    plain = sorted(map(repr, lorel_rows(lorel(text, db, use_indexes=False))))
+    unoptimized = sorted(
+        map(repr, lorel_rows(lorel(text, db, use_indexes=False, optimize=False)))
+    )
+    assert seeded == plain == unoptimized

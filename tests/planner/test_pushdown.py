@@ -1,0 +1,166 @@
+"""Tests for Lorel predicate pushdown through the OEM value groups.
+
+The contract: :func:`pushdown_candidates` may only *shrink* the binding
+work -- the evaluator still applies the full where clause -- so with and
+without indexes every query answers identically, and the candidate sets
+themselves are exact for the conjuncts in isolation.  Staleness is the
+other half: a mutated database must never serve old candidate sets.
+"""
+
+import gc
+import weakref
+
+from repro.core.oem import OemDatabase
+from repro.lorel import lorel, lorel_rows, parse_lorel
+from repro.lorel.parser import parse_lorel as _parse
+from repro.planner import OemIndexes, oem_indexes_for, pushdown_candidates
+from repro.planner.pushdown import conjuncts_of, fixed_symbol_path
+
+DATA = {
+    "Entry": [
+        {"Movie": {"Title": "Casablanca", "Year": 1942}},
+        {"Movie": {"Title": "Heat", "Year": 1995}},
+        {"Movie": {"Title": "Ran", "Year": 1985}},
+    ]
+}
+
+QUERIES = [
+    "select m.Title from DB.Entry.Movie m where m.Year < 1950",
+    "select m.Title from DB.Entry.Movie m where 1990 <= m.Year",
+    "select m.Title from DB.Entry.Movie m where m.Title like '%a%'",
+    "select m.Title from DB.Entry.Movie m where m.Year > 1950 and m.Title like 'H%'",
+    "select m.Title from DB.Entry.Movie m where m.Year > 1950 or m.Title = 'Ran'",
+    "select m.Year from DB.Entry.Movie m where exists m.Title",
+]
+
+
+def db_of(obj=None) -> OemDatabase:
+    return OemDatabase.from_obj(obj if obj is not None else DATA)
+
+
+def rows(db, text, **kw):
+    return sorted(map(repr, lorel_rows(lorel(text, db, **kw))))
+
+
+def test_fixed_symbol_path_shapes():
+    assert fixed_symbol_path(None) == ()
+    q = _parse("select m.x from DB.a m where m.Year < 1")
+    (conjunct,) = list(conjuncts_of(q.where))
+    assert fixed_symbol_path(conjunct.left.path) == ("Year",)
+    q = _parse("select m.x from DB.a m where m.A.B = 1")
+    (conjunct,) = list(conjuncts_of(q.where))
+    assert fixed_symbol_path(conjunct.left.path) == ("A", "B")
+    q = _parse("select m.x from DB.a m where m.# = 1")
+    (conjunct,) = list(conjuncts_of(q.where))
+    assert fixed_symbol_path(conjunct.left.path) is None
+
+
+def test_atoms_where_runs_once_per_distinct_value():
+    db = db_of(
+        {"Item": [{"v": 7}, {"v": 7}, {"v": 7}, {"v": 8}, {"v": "x"}]}
+    )
+    indexes = OemIndexes(db)
+    calls = []
+
+    def test(value):
+        calls.append(value)
+        return value == 7
+
+    hits = indexes.atoms_where(test)
+    assert len(hits) == 3
+    assert len(calls) == indexes.num_distinct_values
+    assert len(calls) < 5  # fewer evaluations than atoms
+
+
+def test_sources_via_reverse_walk():
+    db = db_of()
+    indexes = OemIndexes(db)
+    years = indexes.atoms_where(lambda v: v == 1942)
+    movies = indexes.sources_via(years, ("Year",))
+    assert len(movies) == 1
+    entries = indexes.sources_via(years, ("Movie", "Year"))
+    assert len(entries) >= 1
+    assert indexes.sources_via(years, ("Nope",)) == set()
+
+
+def test_candidates_cover_both_orientations_and_like():
+    db = db_of()
+    for text, expected_titles in [
+        ("select m.Title from DB.Entry.Movie m where m.Year < 1950", 1),
+        ("select m.Title from DB.Entry.Movie m where 1990 <= m.Year", 1),
+        ("select m.Title from DB.Entry.Movie m where m.Title like '%an%'", 2),
+    ]:
+        query = parse_lorel(text)
+        indexes = oem_indexes_for(db)
+        candidates = pushdown_candidates(query, indexes)
+        assert set(candidates) == {"m"}
+        assert len(candidates["m"]) == expected_titles, text
+
+
+def test_conjuncts_intersect_on_one_alias():
+    db = db_of()
+    query = parse_lorel(
+        "select m.Title from DB.Entry.Movie m "
+        "where m.Year > 1950 and m.Title like 'H%'"
+    )
+    indexes = oem_indexes_for(db)
+    candidates = pushdown_candidates(query, indexes)
+    assert len(candidates["m"]) == 1  # Heat alone satisfies both
+    assert indexes.hits >= 2
+
+
+def test_disjunctions_and_exists_are_not_pushed():
+    db = db_of()
+    indexes = oem_indexes_for(db)
+    for text in (
+        "select m.Title from DB.Entry.Movie m where m.Year > 1950 or m.Title = 'Ran'",
+        "select m.Year from DB.Entry.Movie m where exists m.Title",
+        "select m.Title from DB.Entry.Movie m where not m.Year > 1950",
+    ):
+        assert pushdown_candidates(parse_lorel(text), indexes) == {}
+
+
+def test_misses_counted_for_unpushable_comparisons():
+    db = db_of()
+    indexes = oem_indexes_for(db)
+    query = parse_lorel("select m.Title from DB.Entry.Movie m where m.# = 1942")
+    before = indexes.misses
+    assert pushdown_candidates(query, indexes) == {}
+    assert indexes.misses == before + 1
+
+
+def test_indexed_equals_postfiltered_on_every_query():
+    db = db_of()
+    for text in QUERIES:
+        assert rows(db, text, use_indexes=True) == rows(
+            db, text, use_indexes=False
+        ), text
+
+
+def test_staleness_rebuild_on_mutation():
+    db = db_of()
+    first = oem_indexes_for(db)
+    assert oem_indexes_for(db) is first  # cached while unchanged
+    before = rows(db, QUERIES[0])
+    entry = db.new_complex()
+    db.add_child(db.lookup_name("DB"), "Entry", entry)
+    movie = db.new_complex()
+    db.add_child(entry, "Movie", movie)
+    db.add_child(movie, "Title", db.new_atomic("Rio Bravo"))
+    db.add_child(movie, "Year", db.new_atomic(1948))
+    assert first.is_stale()
+    second = oem_indexes_for(db)
+    assert second is not first
+    after = rows(db, QUERIES[0])
+    assert len(after) == len(before) + 1
+    # stale indexes passed directly are ignored, never wrong
+    assert pushdown_candidates(parse_lorel(QUERIES[0]), first) == {}
+
+
+def test_index_cache_does_not_pin_databases():
+    db = db_of()
+    oem_indexes_for(db)
+    ref = weakref.ref(db)
+    del db
+    gc.collect()
+    assert ref() is None
