@@ -13,7 +13,15 @@ calls.
 Plans are immutable-by-convention (a ``LazyDfa`` only ever *grows* its
 memo tables, never changes an answer), so sharing one plan between
 callers is safe.  The cache is a plain bounded LRU: no clocks, no
-threads, eviction on insert past capacity.
+clocks; eviction on insert past capacity.  Every cache operation --
+lookup, pruning store, clear, stats -- holds one re-entrant lock, so the
+asyncio server's worker tasks (and any caller's threads) can share a
+cache without corrupting the LRU order or the hit/miss/size accounting;
+the lock also covers the counter increments themselves, which are plain
+read-modify-write and not atomic on their own.  A miss compiles
+``build()`` under the lock: plans are cheap to build relative to a
+duplicated-compile race, and the lock being re-entrant means a
+``build`` that consults the same cache cannot deadlock.
 
 Accounting lives in the module-level :data:`PLAN_METRICS`
 :class:`~repro.obs.MetricsRegistry` (the same always-on pattern as
@@ -24,6 +32,7 @@ gauge, surfaced by the ``profile`` and ``stats --json`` CLI subcommands.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable
 
@@ -60,6 +69,7 @@ class PlanCache:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
+        self._lock = threading.RLock()
         self._plans: "OrderedDict[str, LazyDfa]" = OrderedDict()
         # (pattern text, graph snapshot id) -> guide-pruning component
         # (the planner's per-DFA-state label mask); lives and dies with
@@ -79,23 +89,24 @@ class PlanCache:
         that already hold a parsed AST avoid re-parsing), else from
         compiling ``pattern`` through the standard path-regex grammar.
         """
-        plan = self._plans.get(pattern)
-        if plan is not None:
-            self._plans.move_to_end(pattern)
-            self._hits.inc()
-            return plan, True
-        self._misses.inc()
-        if build is not None:
-            plan = build()
-        else:
-            plan = LazyDfa(build_nfa(parse_path_regex(pattern)))
-        self._plans[pattern] = plan
-        if len(self._plans) > self.capacity:
-            evicted, _ = self._plans.popitem(last=False)
-            self._drop_prunings(evicted)
-            self._evictions.inc()
-        self._size.set(len(self._plans))
-        return plan, False
+        with self._lock:
+            plan = self._plans.get(pattern)
+            if plan is not None:
+                self._plans.move_to_end(pattern)
+                self._hits.inc()
+                return plan, True
+            self._misses.inc()
+            if build is not None:
+                plan = build()
+            else:
+                plan = LazyDfa(build_nfa(parse_path_regex(pattern)))
+            self._plans[pattern] = plan
+            if len(self._plans) > self.capacity:
+                evicted, _ = self._plans.popitem(last=False)
+                self._drop_prunings(evicted)
+                self._evictions.inc()
+            self._size.set(len(self._plans))
+            return plan, False
 
     def get(self, pattern: str, build: "Callable[[], LazyDfa] | None" = None) -> LazyDfa:
         """The plan for ``pattern`` (compiled on first use, then reused)."""
@@ -110,7 +121,8 @@ class PlanCache:
         valid for the exact :class:`~repro.core.frozen.FrozenGraph`
         snapshot they were computed against, hence the id in the key.
         """
-        return self._prunings.get((pattern, snapshot_id))
+        with self._lock:
+            return self._prunings.get((pattern, snapshot_id))
 
     def store_pruning(self, pattern: str, snapshot_id: int, mask: object) -> None:
         """Attach a guide-pruning mask to ``pattern``'s plan entry.
@@ -119,8 +131,9 @@ class PlanCache:
         plan's pruning would be unreachable garbage); storing for an
         unknown pattern is a silent no-op.
         """
-        if pattern in self._plans:
-            self._prunings[(pattern, snapshot_id)] = mask
+        with self._lock:
+            if pattern in self._plans:
+                self._prunings[(pattern, snapshot_id)] = mask
 
     def _drop_prunings(self, pattern: str) -> None:
         for key in [k for k in self._prunings if k[0] == pattern]:
@@ -128,26 +141,30 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every cached plan (counters keep their history)."""
-        self._plans.clear()
-        self._prunings.clear()
-        self._size.set(0)
+        with self._lock:
+            self._plans.clear()
+            self._prunings.clear()
+            self._size.set(0)
 
     def stats(self) -> dict[str, int]:
         """A snapshot of the cache's accounting (JSON-ready)."""
-        return {
-            "capacity": self.capacity,
-            "size": len(self._plans),
-            "hits": self._hits.value,
-            "misses": self._misses.value,
-            "evictions": self._evictions.value,
-            "prunings": len(self._prunings),
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._plans),
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "evictions": self._evictions.value,
+                "prunings": len(self._prunings),
+            }
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, pattern: str) -> bool:
-        return pattern in self._plans
+        with self._lock:
+            return pattern in self._plans
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -34,7 +34,15 @@ from typing import TYPE_CHECKING, Iterable
 from ..core.frozen import FrozenGraph
 from ..core.graph import Edge, Graph
 from ..obs import QueryProfile
-from ..resilience import PartialResult, completeness_of
+from ..resilience import (
+    BudgetExhausted,
+    Completeness,
+    DeadlineExceeded,
+    FailureRecord,
+    PartialResult,
+    QueryCancelled,
+    completeness_of,
+)
 from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
 from .regex import PathRegex, parse_path_regex
@@ -48,6 +56,8 @@ __all__ = [
     "rpq_nodes_many",
     "rpq_nodes_partial",
     "rpq_nodes_profiled",
+    "rpq_nodes_checkpointed",
+    "RpqStepper",
     "rpq_witnesses",
     "rpq_witnesses_profiled",
     "naive_rpq",
@@ -514,6 +524,236 @@ def _rpq_many_frozen(
                     if is_accepting(nxt):
                         results[tag].add(dst)
                     queue.append(config)
+
+
+# -- checkpointed (superstep) evaluation ------------------------------------------
+
+
+class RpqStepper:
+    """A resumable, level-synchronous RPQ product traversal.
+
+    The same product BFS as :func:`rpq_nodes`, cut into *supersteps*: one
+    :meth:`step` call expands the whole current frontier (every config at
+    the same BFS depth) and then returns control to the caller.  Between
+    steps a server can checkpoint a deadline or operation budget, honor a
+    cooperative cancellation, or interleave other queries -- without any
+    instrumentation inside the edge loop itself.
+
+    Driven to completion the stepper explores exactly the configurations
+    of :func:`rpq_nodes` and :attr:`results` equals its answer (asserted
+    by the kernel tests on both layouts).  Interrupted, :attr:`results`
+    is a sound lower bound: RPQ answers are monotone in the explored
+    region, so stopping early can only *hide* matches, never invent them
+    -- which is what makes the :class:`~repro.resilience.Completeness`
+    contract attachable to a half-run query.
+
+    ``ops`` counts edges scanned *on the serving layout*: the frozen
+    kernel's label pruning skips edges a plain scan would touch, so a
+    budget is a bound on actual work done, not on the logical graph.
+    """
+
+    __slots__ = (
+        "graph",
+        "dfa",
+        "origin",
+        "results",
+        "supersteps",
+        "ops",
+        "_seen",
+        "_frontier",
+        "_frozen",
+        "_trans",
+        "_live_cache",
+        "_dead_interned",
+    )
+
+    def __init__(
+        self,
+        graph: "Graph | FrozenGraph",
+        pattern: "str | PathRegex | Nfa | LazyDfa",
+        start: int | None = None,
+        *,
+        plan_cache: "PlanCache | None" = None,
+    ) -> None:
+        self.graph = graph
+        self.dfa = compile_rpq(pattern, plan_cache=plan_cache)
+        self.origin = graph.root if start is None else start
+        self.results: set[int] = set()
+        if self.dfa.is_accepting(self.dfa.start):
+            self.results.add(self.origin)
+        initial = (self.origin, self.dfa.start)
+        self._seen: set[tuple[int, int]] = {initial}
+        self._frontier: list[tuple[int, int]] = [initial]
+        self.supersteps = 0
+        self.ops = 0
+        self._frozen = isinstance(graph, FrozenGraph)
+        self._trans: dict[tuple[int, int], int] = {}
+        self._live_cache: dict = {}
+        self._dead_interned = False
+
+    @property
+    def done(self) -> bool:
+        return not self._frontier
+
+    @property
+    def frontier_size(self) -> int:
+        """Configs awaiting expansion -- the work dropped if we stop now."""
+        return len(self._frontier)
+
+    @property
+    def seen(self) -> set[tuple[int, int]]:
+        """Every explored config (the profiled-twin accounting surface)."""
+        return self._seen
+
+    def step(self) -> bool:
+        """Expand one superstep; ``True`` while work remains."""
+        if not self._frontier:
+            return False
+        if self._frozen:
+            self._step_frozen()
+        else:
+            self._step_plain()
+        self.supersteps += 1
+        return bool(self._frontier)
+
+    def _step_plain(self) -> None:
+        graph, dfa = self.graph, self.dfa
+        seen, results = self._seen, self.results
+        ops = 0
+        nxt_frontier: list[tuple[int, int]] = []
+        for node, state in self._frontier:
+            for edge in graph.edges_from(node):
+                ops += 1
+                nxt_state = dfa.step(state, edge.label)
+                if dfa.is_dead(nxt_state):
+                    continue
+                config = (edge.dst, nxt_state)
+                if config in seen:
+                    continue
+                seen.add(config)
+                if dfa.is_accepting(nxt_state):
+                    results.add(edge.dst)
+                nxt_frontier.append(config)
+        self.ops += ops
+        self._frontier = nxt_frontier
+
+    def _step_frozen(self) -> None:
+        fg: FrozenGraph = self.graph  # type: ignore[assignment]
+        dfa = self.dfa
+        offsets, targets, label_ids = fg.offsets, fg.targets, fg.label_ids
+        partitions, labels_seq, index = fg.partitions, fg.labels_seq, fg.index
+        step, is_dead, is_accepting = dfa.step, dfa.is_dead, dfa.is_accepting
+        seen, results, trans = self._seen, self.results, self._trans
+        ops = 0
+        nxt_frontier: list[tuple[int, int]] = []
+        for node, state in self._frontier:
+            pos = node if index is None else index[node]
+            begin, end = offsets[pos], offsets[pos + 1]
+            if begin == end:
+                continue
+            live = _live_label_ids(fg, dfa, state, self._live_cache)
+            if live is None:
+                spans = (range(begin, end),)
+            else:
+                part = partitions[pos]
+                spans = [part[lid] for lid in live if lid in part]
+                if not self._dead_interned and sum(map(len, spans)) != end - begin:
+                    dfa.ensure_dead_state()
+                    self._dead_interned = True
+            for span in spans:
+                for i in span:
+                    ops += 1
+                    lid = label_ids[i]
+                    key = (state, lid)
+                    nxt = trans.get(key)
+                    if nxt is None:
+                        stepped = step(state, labels_seq[lid])
+                        nxt = -1 if is_dead(stepped) else stepped
+                        trans[key] = nxt
+                    if nxt < 0:
+                        continue
+                    dst = targets[i]
+                    config = (dst, nxt)
+                    if config not in seen:
+                        seen.add(config)
+                        if is_accepting(nxt):
+                            results.add(dst)
+                        nxt_frontier.append(config)
+        self.ops += ops
+        self._frontier = nxt_frontier
+
+    def run(self, control=None) -> set[int]:
+        """Drive to completion, checkpointing ``control`` between supersteps.
+
+        ``control`` needs one method, ``checkpoint(ops: int)``, called
+        with the superstep's scanned-edge count and expected to raise a
+        typed :class:`~repro.resilience.ResilienceError` (deadline,
+        budget, cancellation) to interrupt.  The exception propagates
+        with the stepper's state intact -- :func:`rpq_nodes_checkpointed`
+        is the wrapper that converts it into a partial result.
+        """
+        if control is not None:
+            control.checkpoint(0)
+        while self._frontier:
+            before = self.ops
+            self.step()
+            if control is not None:
+                control.checkpoint(self.ops - before)
+        return self.results
+
+
+#: Interrupt exception -> the ``kind`` recorded in the failure report.
+_INTERRUPT_KINDS = {
+    DeadlineExceeded: "deadline",
+    QueryCancelled: "cancelled",
+    BudgetExhausted: "budget",
+}
+
+
+def interrupted_completeness(exc: Exception, key: str, lost: int) -> Completeness:
+    """The completeness report of a traversal stopped at a checkpoint.
+
+    ``lost`` is the frontier size at the stop -- the configurations that
+    were queued but never expanded (the honest work-dropped count the
+    ``describe()`` rendering surfaces).
+    """
+    kind = _INTERRUPT_KINDS.get(type(exc), "interrupt")
+    return Completeness(
+        complete=False,
+        failures=(
+            FailureRecord(kind=kind, key=key, attempts=1, error=str(exc), lost=lost),
+        ),
+    )
+
+
+def rpq_nodes_checkpointed(
+    graph: "Graph | FrozenGraph",
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    start: int | None = None,
+    *,
+    control,
+    plan_cache: "PlanCache | None" = None,
+) -> "PartialResult[set[int]]":
+    """:func:`rpq_nodes` under a deadline/budget/cancellation control.
+
+    Runs the superstep stepper, checkpointing ``control`` at every
+    frontier boundary.  Uninterrupted, the answer and an exact
+    completeness report (merged with the graph's own, for degradable
+    graphs).  Interrupted, the matches found so far as a lower bound,
+    with a :class:`~repro.resilience.FailureRecord` naming the reason
+    (``deadline`` / ``cancelled`` / ``budget``) and the dropped frontier
+    size -- the evaluation never raises for an interrupt.
+    """
+    stepper = RpqStepper(graph, pattern, start, plan_cache=plan_cache)
+    try:
+        stepper.run(control)
+    except tuple(_INTERRUPT_KINDS) as exc:
+        key = getattr(control, "key", "rpq")
+        report = interrupted_completeness(exc, key, stepper.frontier_size)
+        return PartialResult(
+            stepper.results, Completeness.merge(report, completeness_of(graph))
+        )
+    return PartialResult(stepper.results, completeness_of(graph))
 
 
 # -- witnesses -------------------------------------------------------------------

@@ -15,6 +15,10 @@ A small working surface over the library for shell use:
   :class:`~repro.obs.QueryProfile` (docs/OBSERVABILITY.md)
 * ``chaos FILE PATTERN``          -- distributed evaluation under injected
   site failures: partial answers + completeness report (docs/RESILIENCE.md)
+* ``serve FILE``                  -- long-lived query server over TCP
+  (admission control, deadlines, cancellation; docs/SERVICE.md)
+* ``remote QUERY``                -- one query against a running server
+  (``--engine``, ``--deadline``, ``--budget``, ``--profile``)
 
 ``FILE`` is JSON (self-describing nested data, loaded via
 :func:`repro.core.builder.from_obj`) or a binary ``.ssd`` graph written by
@@ -127,6 +131,7 @@ def _cmd_schema(args) -> int:
 def _cmd_stats(args) -> int:
     from .automata.plan_cache import PLAN_METRICS
     from .obs.export import metrics_to_dict, to_json
+    from .service.governor import SERVICE_METRICS
     from .storage import STORAGE_METRICS
 
     from .planner import planner_for
@@ -144,6 +149,7 @@ def _cmd_stats(args) -> int:
             "labels": {k.value: by_kind[k.value] for k in LabelKind if k.value in by_kind},
             "storage": metrics_to_dict(STORAGE_METRICS),
             "plan_cache": metrics_to_dict(PLAN_METRICS),
+            "service": metrics_to_dict(SERVICE_METRICS),
             "planner": planner.describe(),
             "indexes": planner.indexes.accounting(),
         }
@@ -159,6 +165,8 @@ def _cmd_stats(args) -> int:
         print(f"storage[{name}]: {value}")
     for name, value in metrics_to_dict(PLAN_METRICS).items():
         print(f"plan_cache[{name}]: {value}")
+    for name, value in metrics_to_dict(SERVICE_METRICS).items():
+        print(f"service[{name}]: {value}")
     described = planner.describe()
     print(f"planner[guide_available]: {described['guide_available']}")
     for name, value in sorted(described["statistics"].items()):  # type: ignore[union-attr]
@@ -289,6 +297,77 @@ def _cmd_chaos(args) -> int:
     return 0 if report.complete else 3
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio query server until interrupted (docs/SERVICE.md).
+
+    ``--max-requests N`` exits after serving N requests -- how tests
+    (and scripted demos) run a real-socket server with a bounded life.
+    """
+    import asyncio
+
+    from .service import AsyncQueryServer, QueryService
+
+    service = QueryService(
+        load_database(args.file),
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_sessions=args.max_sessions,
+        default_deadline=args.deadline,
+        default_budget=args.budget,
+    )
+
+    async def run() -> None:
+        server = AsyncQueryServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {args.host}:{server.bound_port}", flush=True)
+        try:
+            if args.max_requests is not None:
+                while service._requests.value < args.max_requests:
+                    await asyncio.sleep(0.02)
+            else:
+                await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_remote(args) -> int:
+    """Send one query to a running ``repro serve`` instance.
+
+    Prints the response JSON; the exit code encodes the typed outcome
+    so scripts can branch without parsing: 0 ok, 3 partial, 4 deadline,
+    5 overloaded, 2 error.
+    """
+    import asyncio
+
+    from .obs.export import to_json
+    from .service import request_over_socket
+
+    request: dict = {"id": 1, "op": args.engine, "query": args.query}
+    if args.deadline is not None:
+        request["deadline"] = args.deadline
+    if args.budget is not None:
+        request["budget"] = args.budget
+    if args.profile:
+        request["profile"] = True
+    responses = asyncio.run(
+        request_over_socket(args.host, args.server_port, [request])
+    )
+    if not responses:
+        print("error: server closed the connection", file=sys.stderr)
+        return 2
+    response = responses[0]
+    print(to_json(response))
+    return {"ok": 0, "partial": 3, "deadline": 4, "overloaded": 5}.get(
+        response.get("status"), 2
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -376,6 +455,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=4, help="max attempts per site contact")
     p.add_argument("--threshold", type=int, default=3, help="breaker trip threshold (consecutive failures)")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", help="serve queries over TCP (admission control, deadlines)"
+    )
+    p.add_argument("file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port (printed)")
+    p.add_argument("--max-inflight", type=int, default=8, help="concurrent query slots")
+    p.add_argument("--max-queue", type=int, default=16, help="bounded admission queue")
+    p.add_argument("--max-sessions", type=int, default=64, help="connected client cap")
+    p.add_argument("--deadline", type=float, default=None, help="default per-query deadline (s)")
+    p.add_argument("--budget", type=int, default=None, help="default per-query op budget")
+    p.add_argument("--max-requests", type=int, default=None, help="exit after N requests (tests)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("remote", help="run one query against a repro serve instance")
+    p.add_argument("query")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--server-port", type=int, required=True)
+    p.add_argument(
+        "--engine", choices=["rpq", "lorel", "unql", "find"], default="rpq"
+    )
+    p.add_argument("--deadline", type=float, default=None, help="per-query deadline (s)")
+    p.add_argument("--budget", type=int, default=None, help="per-query op budget")
+    p.add_argument("--profile", action="store_true", help="attach a QueryProfile")
+    p.set_defaults(fn=_cmd_remote)
 
     return parser
 

@@ -14,9 +14,11 @@ See docs/RESILIENCE.md for the full contract.  The short version:
 
 from .clock import Clock, SimulatedClock, WallClock
 from .errors import (
+    BudgetExhausted,
     CircuitOpenError,
     DeadlineExceeded,
     InjectedFault,
+    QueryCancelled,
     ResilienceError,
     RetriesExhausted,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "CircuitOpenError",
     "DeadlineExceeded",
     "InjectedFault",
+    "QueryCancelled",
+    "BudgetExhausted",
     # events
     "Event",
     "EventLog",

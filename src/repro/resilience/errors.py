@@ -14,6 +14,8 @@ __all__ = [
     "CircuitOpenError",
     "DeadlineExceeded",
     "InjectedFault",
+    "QueryCancelled",
+    "BudgetExhausted",
 ]
 
 
@@ -64,3 +66,30 @@ class InjectedFault(ResilienceError):
         super().__init__(f"{key}: injected fault ({reason})")
         self.key = key
         self.reason = reason
+
+
+class QueryCancelled(ResilienceError):
+    """A query was cancelled cooperatively (client request or shutdown).
+
+    Raised at a traversal checkpoint, never mid-superstep: the work done
+    so far is intact and is returned as a partial result.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"{key}: cancelled at a checkpoint")
+        self.key = key
+
+
+class BudgetExhausted(ResilienceError):
+    """A query spent its operation budget (edges scanned, not seconds).
+
+    The deterministic sibling of :class:`DeadlineExceeded`: a runaway
+    traversal is stopped by *work done* rather than wall time, so tests
+    on a simulated clock can pin exactly where it stops.
+    """
+
+    def __init__(self, key: str, budget: int, spent: int) -> None:
+        super().__init__(f"{key}: operation budget of {budget} exhausted ({spent} spent)")
+        self.key = key
+        self.budget = budget
+        self.spent = spent

@@ -1,0 +1,85 @@
+"""The query service: serve every engine from one long-lived process.
+
+The paper's premise is *serving* schema-free data to clients --
+browsing, querying, integrating -- and the Hyperset/Delta line in
+PAPERS.md shows what that takes: a reproduction only becomes a system
+once its query languages sit behind a process with resource discipline.
+This package is that process, layered (docs/SERVICE.md):
+
+* **wire protocol** (:mod:`~repro.service.protocol`) -- length-prefixed
+  JSON frames, sans-I/O, shared by sockets / harness / tests;
+* **session manager** (:mod:`~repro.service.session`) -- per-client
+  state, cancel routing, a capped session table;
+* **admission governor** (:mod:`~repro.service.governor`) -- bounded
+  in-flight slots over a bounded FIFO queue; everything beyond sheds
+  with a typed :class:`Overloaded` instead of queuing unboundedly;
+* **worker pool** (:mod:`~repro.service.server`) -- cooperative query
+  execution over an immutable :class:`~repro.core.frozen.FrozenGraph`
+  snapshot, checkpointing deadlines, budgets, and cancellations at
+  traversal superstep boundaries and degrading to typed partial
+  results under the PR-1 :class:`~repro.resilience.Completeness`
+  contract;
+* **front-ends** -- :class:`AsyncQueryServer` (asyncio TCP, the
+  ``repro serve`` CLI) and :class:`InProcessHarness` (deterministic,
+  simulated-clock; what the chaos suite drives).
+
+Quick use::
+
+    from repro.datasets import generate_movies
+    from repro.service import InProcessHarness, QueryService
+
+    service = QueryService(generate_movies(30, seed=11))
+    harness = InProcessHarness(service)
+    response = harness.run_one(
+        {"id": 1, "op": "rpq", "query": "Entry.Movie.Title"}
+    )
+    assert response["status"] == "ok"
+"""
+
+from .errors import Overloaded, ProtocolError
+from .governor import SERVICE_METRICS, AdmissionGovernor, QueryControl, Ticket
+from .harness import InProcessHarness
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    STATUSES,
+    FrameDecoder,
+    encode_frame,
+    validate_request,
+)
+from .server import (
+    AsyncQueryServer,
+    QueryService,
+    QueryTask,
+    completeness_to_dict,
+    request_over_socket,
+)
+from .session import Session, SessionManager
+
+__all__ = [
+    # errors
+    "Overloaded",
+    "ProtocolError",
+    # protocol
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "STATUSES",
+    "encode_frame",
+    "FrameDecoder",
+    "validate_request",
+    # governor
+    "AdmissionGovernor",
+    "QueryControl",
+    "Ticket",
+    "SERVICE_METRICS",
+    # sessions
+    "Session",
+    "SessionManager",
+    # service
+    "QueryService",
+    "QueryTask",
+    "AsyncQueryServer",
+    "InProcessHarness",
+    "completeness_to_dict",
+    "request_over_socket",
+]

@@ -1,0 +1,44 @@
+"""Typed failures of the query service layer.
+
+The service refuses work in exactly two ways, and both are types rather
+than strings so clients (and the chaos tests) can dispatch on them:
+
+* :class:`Overloaded` -- admission control shed the request *before any
+  work was done*: the in-flight pool and the bounded queue are both
+  full, or the session table is.  The typed rejection is the whole
+  point of the governor: under overload the server answers "no" in
+  microseconds instead of queuing unboundedly and answering nothing.
+* :class:`ProtocolError` -- a frame violated the wire protocol (too
+  large, not JSON, missing fields).  The connection-level counterpart
+  of a syntax error.
+
+Everything else a query can die of -- deadline, budget, cancellation,
+injected faults, open breakers -- already has a typed home in
+:mod:`repro.resilience.errors`; the service reuses those.
+"""
+
+from __future__ import annotations
+
+from ..resilience.errors import ResilienceError
+
+__all__ = ["Overloaded", "ProtocolError"]
+
+
+class Overloaded(ResilienceError):
+    """Admission control rejected a request: no capacity, no queue room.
+
+    ``reason`` says which limit was hit (``"queue_full"``,
+    ``"sessions_full"``); ``retry_after`` is a polite hint in clock
+    seconds (the governor's estimate of when a slot may free), never a
+    promise.
+    """
+
+    def __init__(self, key: str, reason: str, retry_after: float = 0.0) -> None:
+        super().__init__(f"{key}: overloaded ({reason})")
+        self.key = key
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ProtocolError(ValueError):
+    """A wire frame the server cannot or will not interpret."""

@@ -1,0 +1,119 @@
+"""A deterministic in-process driver for the query service.
+
+The chaos suite needs to put the server in precisely-timed trouble:
+expire a deadline *between* superstep three and four, cancel a query
+while its frontier is half-expanded, overload the pool with a burst of
+exactly N requests.  Real sockets and a real event loop cannot schedule
+any of that reproducibly, so the harness drives the same
+:class:`~repro.service.server.QueryService` the asyncio front-end uses,
+but under explicit control:
+
+* every submitted task's ``steps()`` generator is advanced round-robin,
+  one superstep per turn, in submission order -- a deterministic
+  stand-in for the event loop's interleaving;
+* an optional ``advance_per_step`` moves the service's
+  :class:`~repro.resilience.SimulatedClock` a fixed amount per
+  superstep, so "this query times out mid-traversal" is a statement
+  about arithmetic, not about machine speed;
+* an ``on_step`` hook sees ``(task, superstep_count)`` after each turn
+  and may cancel, advance the clock, or submit more load mid-flight --
+  the chaos tests' scalpel.
+
+No sockets, no threads, no wall clock: a harness run with the same
+inputs produces byte-identical responses every time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from .server import QueryService, QueryTask
+from .session import Session
+
+__all__ = ["InProcessHarness"]
+
+
+class InProcessHarness:
+    """Submit requests, then interleave them to completion, predictably."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        advance_per_step: float = 0.0,
+        on_step: "Callable[[QueryTask, int], None] | None" = None,
+    ) -> None:
+        self.service = service
+        self.advance_per_step = advance_per_step
+        self.on_step = on_step
+        self.session: Session = service.connect()
+        self._live: "deque[QueryTask]" = deque()
+        self.responses: dict[int, dict] = {}
+        self.steps_taken = 0
+
+    def submit(self, request: dict) -> QueryTask:
+        """Hand one request to the service; immediate responses (ping,
+        stats, cancel acks, sheds, protocol errors) are recorded at
+        once, everything else joins the round-robin."""
+        task = self.service.submit(self.session, request)
+        if task.done:
+            self.responses[task.request_id] = task.response
+        else:
+            self._live.append(task)
+        return task
+
+    def submit_all(self, requests: "list[dict]") -> "list[QueryTask]":
+        return [self.submit(r) for r in requests]
+
+    def cancel(self, target: int, *, request_id: int = -1) -> dict:
+        """Convenience: a ``cancel`` control frame for ``target``."""
+        task = self.submit({"id": request_id, "op": "cancel", "target": target})
+        return task.response  # type: ignore[return-value]
+
+    @property
+    def pending(self) -> int:
+        return len(self._live)
+
+    def run(self, max_turns: int = 1_000_000) -> dict[int, dict]:
+        """Round-robin every live task to completion; return responses.
+
+        ``max_turns`` is a safety net: a service bug that stops making
+        progress fails the test with a clear error instead of hanging
+        the suite.
+        """
+        generators: dict[int, object] = {}
+        turns = 0
+        while self._live:
+            turns += 1
+            if turns > max_turns:
+                raise RuntimeError(
+                    f"harness exceeded {max_turns} turns with "
+                    f"{len(self._live)} task(s) still live"
+                )
+            task = self._live.popleft()
+            gen = generators.get(id(task))
+            if gen is None:
+                gen = generators[id(task)] = task.steps()
+            advanced = next(gen, None)  # type: ignore[arg-type]
+            if advanced == "step":
+                self.steps_taken += 1
+                if self.advance_per_step:
+                    self.service.clock.sleep(self.advance_per_step)  # type: ignore[attr-defined]
+                if self.on_step is not None:
+                    self.on_step(task, self.steps_taken)
+            if task.done and advanced is None:
+                generators.pop(id(task), None)
+                self.responses[task.request_id] = task.response  # type: ignore[assignment]
+            else:
+                self._live.append(task)
+        return self.responses
+
+    def run_one(self, request: dict) -> dict:
+        """Submit one request and drive everything to completion."""
+        task = self.submit(request)
+        self.run()
+        return self.responses[task.request_id]
+
+    def close(self) -> None:
+        self.service.disconnect(self.session)

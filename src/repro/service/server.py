@@ -1,0 +1,597 @@
+"""The query service core and its asyncio front-end.
+
+:class:`QueryService` is the transport-free heart of the server: it
+owns one immutable :class:`~repro.core.frozen.FrozenGraph` snapshot,
+the session table, the admission governor, a shared plan cache, and the
+engine dispatch.  Its unit of work is a :class:`QueryTask` whose
+:meth:`~QueryTask.steps` generator yields at every traversal superstep
+-- the cooperative scheduling point where deadlines, budgets, and
+cancellations are honored, and where a front-end interleaves other
+work.  Because the core never touches a socket, a thread, or a real
+clock, the deterministic harness (:mod:`repro.service.harness`) drives
+the *same* code the network server does.
+
+:class:`AsyncQueryServer` is the thin asyncio skin: one TCP connection
+per session, length-prefixed JSON frames (:mod:`repro.service.protocol`),
+one :class:`asyncio.Task` per query driving ``steps()`` with an
+``await`` between supersteps so slow queries never monopolize the loop
+and responses stream back in completion order (the protocol matches
+them by id).
+
+The typed outcome contract (docs/SERVICE.md):
+
+==============  ==================================================
+``ok``          exact answer
+``partial``     lower bound -- cancelled or budget-exhausted; carries
+                a completeness report
+``deadline``    the per-query deadline expired at a checkpoint;
+                carries the partial answer and its report
+``overloaded``  shed at admission; no work was done
+``error``       bad query, open breaker, or injected worker fault
+==============  ==================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Iterator
+
+from ..automata.plan_cache import PlanCache
+from ..automata.product import RpqStepper, interrupted_completeness, rpq_nodes_profiled
+from ..browse import find_value_profiled, where_is
+from ..core.builder import to_obj
+from ..core.convert import graph_to_oem
+from ..core.frozen import FrozenGraph, freeze
+from ..core.graph import Graph
+from ..lorel import evaluate_lorel_profiled, lorel, lorel_rows, parse_lorel
+from ..obs.export import metrics_to_dict
+from ..resilience import (
+    BudgetExhausted,
+    CircuitBreaker,
+    CircuitOpenError,
+    Completeness,
+    DeadlineExceeded,
+    FaultInjector,
+    QueryCancelled,
+    ResilienceError,
+)
+from ..resilience.clock import Clock, WallClock
+from ..unql import evaluate_query_profiled, parse_query, unql
+from .errors import Overloaded, ProtocolError
+from .governor import SERVICE_METRICS, AdmissionGovernor, Ticket
+from .protocol import FrameDecoder, encode_frame, validate_request
+from .session import Session, SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import Tracer
+
+__all__ = [
+    "QueryService",
+    "QueryTask",
+    "AsyncQueryServer",
+    "completeness_to_dict",
+    "request_over_socket",
+]
+
+#: Engine ops that go through admission (control-plane ops bypass it).
+QUERY_OPS = frozenset({"rpq", "lorel", "unql", "find"})
+
+
+def completeness_to_dict(report: Completeness) -> dict[str, object]:
+    """The wire form of a completeness report (stable field order)."""
+    return {
+        "complete": report.complete,
+        "retries": report.retries,
+        "lost": report.lost,
+        "failures": [
+            {
+                "kind": f.kind,
+                "key": f.key,
+                "attempts": f.attempts,
+                "error": f.error,
+                "lost": f.lost,
+            }
+            for f in report.failures
+        ],
+    }
+
+
+class QueryTask:
+    """One admitted (or shed) request moving through the worker pool."""
+
+    __slots__ = ("service", "session", "request", "ticket", "response")
+
+    def __init__(
+        self,
+        service: "QueryService",
+        session: Session,
+        request: dict,
+        ticket: "Ticket | None",
+        response: "dict | None" = None,
+    ) -> None:
+        self.service = service
+        self.session = session
+        self.request = request
+        self.ticket = ticket
+        self.response = response
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    @property
+    def request_id(self) -> int:
+        return self.request["id"]
+
+    def steps(self) -> Iterator[str]:
+        """Drive this task cooperatively; yields between supersteps.
+
+        Yields ``"waiting"`` while queued behind a full worker pool and
+        ``"step"`` after each completed superstep.  When the generator
+        is exhausted, :attr:`response` holds the typed response.  All
+        admission release and session untracking happens here, on every
+        path -- a task dropped mid-generator by a dying connection still
+        frees its slot via the front-end's ``close`` handling.
+        """
+        if self.done:
+            return
+        ticket = self.ticket
+        assert ticket is not None  # shed tasks arrive with a response
+        while not ticket.admitted and not ticket.released:
+            yield "waiting"
+        try:
+            yield from self.service._execute(self)
+        finally:
+            self.service._finish(self)
+
+
+class QueryService:
+    """Engines + sessions + governor over one frozen snapshot."""
+
+    def __init__(
+        self,
+        graph: "Graph | FrozenGraph",
+        *,
+        clock: "Clock | None" = None,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        max_sessions: int = 64,
+        default_deadline: "float | None" = None,
+        default_budget: "int | None" = None,
+        metrics: "MetricsRegistry" = SERVICE_METRICS,
+        tracer: "Tracer | None" = None,
+        injector: "FaultInjector | None" = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+    ) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.frozen = freeze(graph)
+        self.graph: Graph = graph.thaw() if isinstance(graph, FrozenGraph) else graph
+        self.metrics = metrics
+        self.tracer = tracer
+        self.injector = injector
+        self.governor = AdmissionGovernor(
+            max_inflight,
+            max_queue,
+            clock=self.clock,
+            default_deadline=default_deadline,
+            default_budget=default_budget,
+            metrics=metrics,
+            events=tracer.event_log() if tracer is not None else None,
+        )
+        self.sessions = SessionManager(max_sessions)
+        self.plan_cache = PlanCache(name="service_plan_cache")
+        self._oem = None
+        self._breakers = {
+            op: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                clock=self.clock,
+                key=f"worker:{op}",
+            )
+            for op in QUERY_OPS
+        }
+        self._status_counters = {
+            status: metrics.counter(f"service_{status}")
+            for status in ("ok", "partial", "deadline", "overloaded", "error")
+        }
+        self._cancelled_counter = metrics.counter("service_cancelled")
+        self._requests = metrics.counter("service_requests")
+        self._ops_histogram = metrics.histogram("service_query_ops")
+
+    # -- connection lifecycle ----------------------------------------------------
+
+    def connect(self) -> Session:
+        """Open a session (raises :class:`Overloaded` at the cap)."""
+        return self.sessions.open(self.clock.now())
+
+    def disconnect(self, session: Session) -> int:
+        """Close a session, cooperatively cancelling its live queries."""
+        return self.sessions.close(session)
+
+    # -- request intake ----------------------------------------------------------
+
+    def submit(self, session: Session, request: dict) -> QueryTask:
+        """Admit one request; always returns a task, never raises.
+
+        Control-plane ops (``ping`` / ``stats`` / ``cancel``) answer
+        immediately and bypass the governor -- a cancel that could be
+        shed by the very overload it is trying to relieve would be
+        useless.  Query ops pass admission: shed requests come back as
+        already-finished tasks carrying the ``overloaded`` response.
+        """
+        self._requests.inc()
+        try:
+            validate_request(request)
+        except ProtocolError as exc:
+            rid = request.get("id") if isinstance(request.get("id"), int) else 0
+            return QueryTask(
+                self, session, {"id": rid, "op": "invalid"}, None,
+                self._respond(rid, "error", error=str(exc), error_type="ProtocolError"),
+            )
+        rid = request["id"]
+        op = request["op"]
+        if op == "ping":
+            return QueryTask(
+                self, session, request, None, self._respond(rid, "ok", result="pong")
+            )
+        if op == "stats":
+            return QueryTask(
+                self, session, request, None,
+                self._respond(rid, "ok", result=self.stats()),
+            )
+        if op == "cancel":
+            found = session.cancel(request["target"])
+            if found:
+                self._cancelled_counter.inc()
+            return QueryTask(
+                self, session, request, None,
+                self._respond(rid, "ok", result={"cancelled": found}),
+            )
+        try:
+            ticket = self.governor.admit(
+                f"s{session.session_id}:r{rid}:{op}",
+                deadline=request.get("deadline"),
+                budget=request.get("budget"),
+            )
+        except Overloaded as exc:
+            return QueryTask(
+                self, session, request, None,
+                self._respond(
+                    rid, "overloaded", reason=exc.reason, retry_after=exc.retry_after
+                ),
+            )
+        session.track(rid, ticket.control)
+        return QueryTask(self, session, request, ticket)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(self, task: QueryTask) -> Iterator[str]:
+        """Run one admitted query; fills ``task.response``; yields per step."""
+        request = task.request
+        rid, op = request["id"], request["op"]
+        control = task.ticket.control  # type: ignore[union-attr]
+        stepper: "RpqStepper | None" = None
+        span_cm = (
+            self.tracer.span("serve", op=op, request_id=rid, key=control.key)
+            if self.tracer is not None
+            else None
+        )
+        span = span_cm.__enter__() if span_cm is not None else None
+        try:
+            # one checkpoint before any work: a query whose deadline
+            # lapsed in the queue, or that was cancelled while waiting,
+            # fails here without touching an engine
+            control.checkpoint(0)
+            self._guard_worker(op)
+            if op == "rpq" and not request.get("profile"):
+                stepper = RpqStepper(
+                    self.frozen, request["query"], plan_cache=self.plan_cache
+                )
+                control.checkpoint(0)
+                while True:
+                    before = stepper.ops
+                    more = stepper.step()
+                    control.checkpoint(stepper.ops - before)
+                    if not more:
+                        break
+                    yield "step"
+                task.response = self._respond(
+                    rid,
+                    "ok",
+                    result=sorted(stepper.results),
+                    ops=stepper.ops,
+                    supersteps=stepper.supersteps,
+                )
+            else:
+                task.response = self._run_oneshot(rid, op, request)
+        except QueryCancelled as exc:
+            task.response = self._interrupted(rid, "partial", "cancelled", exc, stepper)
+            self._cancelled_counter.inc()
+        except DeadlineExceeded as exc:
+            task.response = self._interrupted(rid, "deadline", "deadline", exc, stepper)
+        except BudgetExhausted as exc:
+            task.response = self._interrupted(rid, "partial", "budget", exc, stepper)
+        except (ResilienceError, ValueError, KeyError, RecursionError) as exc:
+            # engine-level failures: syntax errors, open breakers,
+            # injected faults, bad arguments -- typed, never fatal
+            task.response = self._respond(
+                rid, "error", error=str(exc), error_type=type(exc).__name__
+            )
+        finally:
+            if stepper is not None:
+                self._ops_histogram.observe(stepper.ops)
+            if span is not None:
+                status = task.response["status"] if task.response else "dropped"
+                span.annotate(
+                    status=status,
+                    ops=stepper.ops if stepper is not None else 0,
+                    checkpoints=control.checkpoints,
+                )
+                span_cm.__exit__(None, None, None)  # type: ignore[union-attr]
+
+    def _guard_worker(self, op: str) -> None:
+        """The worker-pool fault boundary: breaker-guarded fault injection.
+
+        With an injector configured (chaos tests), each query execution
+        is one contact with the ``worker:<op>`` dependency; repeated
+        injected faults trip the per-engine breaker so later queries
+        fail fast with :class:`~repro.resilience.CircuitOpenError`
+        instead of paying the fault path every time.
+        """
+        breaker = self._breakers[op]
+        if not breaker.allow():
+            raise CircuitOpenError(f"worker:{op}")
+        if self.injector is None:
+            breaker.record_success()
+            return
+        try:
+            self.injector.check(f"worker:{op}")
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+
+    def _run_oneshot(self, rid: int, op: str, request: dict) -> dict:
+        """The non-checkpointed engines (and profiled twins), one call each.
+
+        Profiled queries use the library's default profiled entry points
+        with no plan cache so their operation counts are byte-identical
+        to a direct library call -- the golden-parity contract the obs
+        suite pins.  One-shot work is not interruptible mid-engine; the
+        deadline was checked at the entry checkpoint and the answer,
+        once computed, is returned even if it finished late (dropping
+        finished work helps no one).
+        """
+        query = request.get("query", "")
+        profiled = bool(request.get("profile"))
+        if op == "rpq":  # profiled rpq (plain rpq streams through the stepper)
+            results, profile = rpq_nodes_profiled(self.frozen, query)
+            return self._respond(
+                rid, "ok", result=sorted(results), profile=profile.as_dict()
+            )
+        if op == "lorel":
+            if profiled:
+                answer, profile = evaluate_lorel_profiled(
+                    parse_lorel(query), self.oem, query_text=query
+                )
+                return self._respond(
+                    rid, "ok", result=lorel_rows(answer), profile=profile.as_dict()
+                )
+            return self._respond(rid, "ok", result=lorel_rows(lorel(query, self.oem)))
+        if op == "unql":
+            if profiled:
+                result, profile = evaluate_query_profiled(
+                    parse_query(query),
+                    {"db": self.graph, "DB": self.graph},
+                    query_text=query,
+                )
+                return self._respond(
+                    rid, "ok", result=to_obj(result), profile=profile.as_dict()
+                )
+            return self._respond(
+                rid, "ok", result=to_obj(unql(query, db=self.graph))
+            )
+        # find: the section-1.3 "where is it" browse query
+        value: object = query
+        try:
+            value = json.loads(query)
+        except json.JSONDecodeError:
+            pass
+        if profiled:
+            findings, profile = find_value_profiled(self.graph, value, None)
+            return self._respond(
+                rid, "ok", result=[str(f) for f in findings], profile=profile.as_dict()
+            )
+        return self._respond(rid, "ok", result=where_is(self.graph, value))
+
+    def _interrupted(
+        self,
+        rid: int,
+        status: str,
+        reason: str,
+        exc: Exception,
+        stepper: "RpqStepper | None",
+    ) -> dict:
+        """A typed partial/deadline response from a checkpoint interrupt."""
+        results = sorted(stepper.results) if stepper is not None else []
+        lost = stepper.frontier_size if stepper is not None else 0
+        report = interrupted_completeness(exc, getattr(exc, "key", "query"), lost)
+        return self._respond(
+            rid,
+            status,
+            reason=reason,
+            result=results,
+            completeness=completeness_to_dict(report),
+            error=str(exc),
+        )
+
+    def _respond(self, rid: int, status: str, **fields: object) -> dict:
+        counter = self._status_counters.get(status)
+        if counter is not None:
+            counter.inc()
+        return {"id": rid, "status": status, **fields}
+
+    def _finish(self, task: QueryTask) -> None:
+        if task.ticket is not None:
+            self.governor.release(task.ticket)
+        task.session.untrack(task.request_id)
+        if task.response is None:  # generator dropped mid-flight
+            task.response = self._respond(
+                task.request_id, "error", error="query dropped", error_type="Dropped"
+            )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def oem(self):
+        """The OEM view of the snapshot, built on first Lorel query."""
+        if self._oem is None:
+            self._oem = graph_to_oem(self.graph)
+        return self._oem
+
+    def stats(self) -> dict[str, object]:
+        """The ``stats`` op payload: admission, sessions, snapshot, metrics."""
+        return {
+            "graph": {
+                "nodes": self.frozen.num_nodes,
+                "edges": self.frozen.num_edges,
+                "snapshot_id": self.frozen.snapshot_id,
+            },
+            "governor": self.governor.snapshot(),
+            "sessions": self.sessions.snapshot(),
+            "plan_cache": self.plan_cache.stats(),
+            "breakers": {op: b.state for op, b in sorted(self._breakers.items())},
+            "metrics": metrics_to_dict(self.metrics),
+        }
+
+
+class AsyncQueryServer:
+    """The asyncio TCP front-end over a :class:`QueryService`.
+
+    One connection = one session; one in-flight request = one asyncio
+    task driving :meth:`QueryTask.steps` with a zero sleep between
+    supersteps, so many queries share the loop fairly.  Responses are
+    written as they finish -- out of order under concurrency, which is
+    why the protocol matches by ``id``.
+    """
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (after :meth:`start` with port 0)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            session = self.service.connect()
+        except Overloaded as exc:
+            writer.write(
+                encode_frame(
+                    {"id": 0, "status": "overloaded", "reason": exc.reason,
+                     "retry_after": exc.retry_after}
+                )
+            )
+            await writer.drain()
+            writer.close()
+            return
+        decoder = FrameDecoder()
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def drive(task: QueryTask) -> None:
+            for _ in task.steps():
+                await asyncio.sleep(0)
+            async with write_lock:
+                writer.write(encode_frame(task.response))
+                await writer.drain()
+
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = list(decoder.feed(data))
+                except ProtocolError as exc:
+                    async with write_lock:
+                        writer.write(
+                            encode_frame(
+                                {"id": 0, "status": "error", "error": str(exc),
+                                 "error_type": "ProtocolError"}
+                            )
+                        )
+                        await writer.drain()
+                    break  # framing is unrecoverable; drop the connection
+                for frame in frames:
+                    task = self.service.submit(session, frame)
+                    runner = asyncio.ensure_future(drive(task))
+                    pending.add(runner)
+                    runner.add_done_callback(pending.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self.service.disconnect(session)
+            for runner in list(pending):
+                runner.cancel()
+            # close without awaiting the handshake: the handler may be
+            # cancelled at loop shutdown, and awaiting here would turn
+            # that into a spurious error in the transport callback
+            writer.close()
+
+
+async def request_over_socket(
+    host: str, port: int, requests: "list[dict]"
+) -> "list[dict]":
+    """A minimal client: send requests, await as many responses.
+
+    Used by the ``repro query`` CLI and the socket tests; responses come
+    back in completion order, matched to requests by ``id``.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for request in requests:
+            writer.write(encode_frame(request))
+        await writer.drain()
+        decoder = FrameDecoder()
+        responses: list[dict] = []
+        while len(responses) < len(requests):
+            data = await reader.read(65536)
+            if not data:
+                break
+            responses.extend(decoder.feed(data))
+        return responses
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,120 @@
+"""Session bookkeeping: who is connected, what they have in flight.
+
+A :class:`Session` is one client connection's server-side state: a
+stable id, the set of requests currently executing (by request id, so a
+``cancel`` frame can find its target), and counters for the goodbye
+summary.  The :class:`SessionManager` is the front door the transports
+share -- the asyncio server opens a session per TCP connection, the
+in-process harness per simulated client -- and it enforces the first
+admission boundary: a full session table sheds new connections with the
+same typed :class:`~repro.service.errors.Overloaded` the governor uses
+for queries, because "too many clients" and "too many queries" are the
+same disease at different layers.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Iterator
+
+from .errors import Overloaded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .governor import QueryControl
+
+__all__ = ["Session", "SessionManager"]
+
+
+class Session:
+    """One connected client: id, live queries, lifetime counters."""
+
+    __slots__ = ("session_id", "opened_at", "closed", "submitted", "completed", "_live")
+
+    def __init__(self, session_id: int, opened_at: float) -> None:
+        self.session_id = session_id
+        self.opened_at = opened_at
+        self.closed = False
+        self.submitted = 0
+        self.completed = 0
+        self._live: dict[int, "QueryControl"] = {}
+
+    @property
+    def live_queries(self) -> int:
+        return len(self._live)
+
+    def track(self, request_id: int, control: "QueryControl") -> None:
+        """Register a query now executing under this session."""
+        self.submitted += 1
+        self._live[request_id] = control
+
+    def untrack(self, request_id: int) -> None:
+        if self._live.pop(request_id, None) is not None:
+            self.completed += 1
+
+    def cancel(self, request_id: int) -> bool:
+        """Flag a live query for cooperative cancellation.
+
+        Returns whether the target was found still running -- cancelling
+        a finished (or never-admitted) request is a client race, not an
+        error, and reports ``False``.
+        """
+        control = self._live.get(request_id)
+        if control is None:
+            return False
+        control.cancel()
+        return True
+
+    def cancel_all(self) -> int:
+        """Cancel everything in flight (connection dropped); count flagged."""
+        for control in self._live.values():
+            control.cancel()
+        return len(self._live)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<session {self.session_id} live={len(self._live)}>"
+
+
+class SessionManager:
+    """Open/close sessions under a cap; route cancels to live queries."""
+
+    def __init__(self, max_sessions: int = 64) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self.max_sessions = max_sessions
+        self._sessions: dict[int, Session] = {}
+        self._ids = count(1)
+        self.opened = 0
+        self.refused = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(list(self._sessions.values()))
+
+    def open(self, now: float) -> Session:
+        """Admit one client; a full table sheds with ``sessions_full``."""
+        if len(self._sessions) >= self.max_sessions:
+            self.refused += 1
+            raise Overloaded("session", "sessions_full")
+        session = Session(next(self._ids), now)
+        self._sessions[session.session_id] = session
+        self.opened += 1
+        return session
+
+    def close(self, session: Session) -> int:
+        """Drop a session, cancelling whatever it still had running."""
+        flagged = session.cancel_all()
+        session.closed = True
+        self._sessions.pop(session.session_id, None)
+        return flagged
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-ready session statistics."""
+        return {
+            "max_sessions": self.max_sessions,
+            "open": len(self._sessions),
+            "opened_total": self.opened,
+            "refused": self.refused,
+            "live_queries": sum(s.live_queries for s in self._sessions.values()),
+        }

@@ -2,7 +2,13 @@
 
 from .external import EXTERNAL_MARKER, ExternalGraph
 from .serializer import STORAGE_METRICS, SerializationError, dumps, loads
-from .store import GraphStore, PageCache, traversal_page_faults
+from .store import (
+    GraphStore,
+    GroupCommit,
+    PageCache,
+    atomic_write_bytes,
+    traversal_page_faults,
+)
 
 __all__ = [
     "dumps",
@@ -12,6 +18,8 @@ __all__ = [
     "GraphStore",
     "PageCache",
     "traversal_page_faults",
+    "atomic_write_bytes",
+    "GroupCommit",
     "ExternalGraph",
     "EXTERNAL_MARKER",
 ]

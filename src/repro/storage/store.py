@@ -19,16 +19,24 @@ real disks (the substitution DESIGN.md documents).
 
 from __future__ import annotations
 
+import os
 import random
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.graph import Graph
 from ..resilience import EventLog
-from .serializer import SerializationError, dumps, loads, serialize_node_record
+from .serializer import STORAGE_METRICS, SerializationError, dumps, loads, serialize_node_record
 
-__all__ = ["GraphStore", "PageCache", "traversal_page_faults"]
+__all__ = [
+    "GraphStore",
+    "PageCache",
+    "traversal_page_faults",
+    "atomic_write_bytes",
+    "GroupCommit",
+]
 
 
 @dataclass
@@ -125,14 +133,26 @@ class GraphStore:
 
     # -- persistence -----------------------------------------------------------------
 
-    def save(self, path: "str | Path") -> None:
-        """Write the whole graph to disk (serialized form + page layout).
+    def save(self, path: "str | Path", *, durable: bool = True) -> None:
+        """Write the whole graph to disk, crash-safely.
 
         The on-disk format is the plain SSD1 serialization; the page
         layout is a run-time artifact rebuilt on load with the same
         clustering parameters.
+
+        The write is atomic: the payload goes to a temporary file in the
+        *same directory*, is flushed (and, with ``durable``, fsynced),
+        and only then renamed over the target.  A crash at any byte of
+        the write leaves the target either the complete old graph or
+        the complete new one -- a torn file is never loadable because a
+        torn file is never *visible* under the target name (the
+        kill-mid-save tests drive every interruption point).
+
+        ``durable=False`` skips the fsyncs (atomicity without the disk
+        round-trip); to amortize durability across many saves, batch
+        them through :class:`GroupCommit` instead.
         """
-        Path(path).write_bytes(dumps(self._graph))
+        atomic_write_bytes(path, dumps(self._graph), fsync=durable)
 
     @classmethod
     def load(
@@ -155,6 +175,190 @@ class GraphStore:
     @property
     def graph(self) -> Graph:
         return self._graph
+
+
+# -- crash-safe persistence helpers -----------------------------------------------
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table (the rename itself) to disk."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fsync
+        return
+    try:
+        os.fsync(fd)
+        STORAGE_METRICS.counter("fsyncs").inc()
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` with rename atomicity.
+
+    The temp file lives in the target's own directory (``os.replace``
+    must not cross filesystems), under a dot-name no loader globs.  The
+    sequence is the classic one: write temp, flush, fsync the temp,
+    rename over the target, fsync the directory.  Readers of ``path``
+    see the old bytes or the new bytes, never a prefix.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+                STORAGE_METRICS.counter("fsyncs").inc()
+        os.replace(tmp, path)
+    except BaseException:
+        # a failed save must not litter: the target is untouched, so
+        # removing the torn temp restores the pre-call state exactly
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+    STORAGE_METRICS.counter("atomic_saves").inc()
+
+
+class GroupCommit:
+    """Batch many saves behind one journal fsync (group commit).
+
+    The naive durable path costs two fsyncs per save (temp file +
+    directory); saving a checkpoint stream that way is the ~53x
+    overhead the storage bench measures.  Group commit amortizes it:
+
+    1. ``add(graph, path)`` buffers serialized payloads in memory;
+    2. ``flush()`` writes every buffered record -- path, length, CRC32,
+       payload -- into one journal file in the commit directory and
+       fsyncs *that file once*; this is the durability point;
+    3. each target is then written with plain rename atomicity (no
+       per-file fsync) and the journal is removed.
+
+    A crash before the journal fsync leaves every target in its old
+    state (the journal parses as torn and is discarded).  A crash after
+    it is repaired by :meth:`recover`, which replays the journal's
+    records -- each of which carries its own CRC, so a torn tail can
+    never be replayed as data.  Either way, no target path is ever
+    visible in a half-written state.
+    """
+
+    #: Journal magic: distinct from SSD1 so a journal is never loadable
+    #: as a graph (and vice versa).
+    MAGIC = b"SSDJ"
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._pending: list[tuple[str, bytes]] = []
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / ".commit-journal"
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, graph: Graph, name: "str | Path") -> None:
+        """Buffer one save of ``graph`` to ``name`` (relative to the
+        commit directory; absolute paths outside it are rejected --
+        the journal must stay adjacent to what it protects)."""
+        target = (self.directory / name).resolve()
+        if self.directory.resolve() not in target.parents:
+            raise ValueError(f"{name!r} escapes the commit directory")
+        self._pending.append((str(target.relative_to(self.directory.resolve())),
+                              dumps(graph)))
+
+    def flush(self) -> int:
+        """Commit every buffered save with a single fsync; returns count."""
+        if not self._pending:
+            return 0
+        journal = bytearray(self.MAGIC)
+        for name, payload in self._pending:
+            encoded = name.encode("utf-8")
+            journal += len(encoded).to_bytes(4, "big")
+            journal += encoded
+            journal += len(payload).to_bytes(8, "big")
+            journal += zlib.crc32(payload).to_bytes(4, "big")
+            journal += payload
+        with open(self.journal_path, "wb") as fh:
+            fh.write(journal)
+            fh.flush()
+            os.fsync(fh.fileno())  # THE durability point: one fsync per batch
+            STORAGE_METRICS.counter("fsyncs").inc()
+        for name, payload in self._pending:
+            atomic_write_bytes(self.directory / name, payload, fsync=False)
+        os.unlink(self.journal_path)
+        count = len(self._pending)
+        self._pending.clear()
+        STORAGE_METRICS.counter("group_commits").inc()
+        STORAGE_METRICS.counter("group_commit_records").inc(count)
+        return count
+
+    @classmethod
+    def recover(cls, directory: "str | Path") -> int:
+        """Repair after a crash: replay a committed journal, if present.
+
+        Returns how many records were re-applied.  A missing journal
+        means the last flush finished (or never reached its durability
+        point with partial targets -- impossible, targets are written
+        only after the journal).  A torn or corrupt journal is from a
+        crash *before* the fsync returned: the batch was never durable,
+        every target still holds its old state, and the journal is
+        simply discarded.
+        """
+        directory = Path(directory)
+        journal_path = directory / ".commit-journal"
+        try:
+            raw = journal_path.read_bytes()
+        except FileNotFoundError:
+            return 0
+        records = cls._parse_journal(raw)
+        if records is None:  # torn journal: pre-durability crash
+            os.unlink(journal_path)
+            return 0
+        for name, payload in records:
+            atomic_write_bytes(directory / name, payload, fsync=False)
+        _fsync_dir(directory)
+        os.unlink(journal_path)
+        STORAGE_METRICS.counter("group_commit_recoveries").inc()
+        return len(records)
+
+    @staticmethod
+    def _parse_journal(raw: bytes) -> "list[tuple[str, bytes]] | None":
+        """Decode a journal, or ``None`` for anything short of perfect."""
+        if raw[:4] != GroupCommit.MAGIC:
+            return None
+        records: list[tuple[str, bytes]] = []
+        pos = 4
+        while pos < len(raw):
+            if pos + 4 > len(raw):
+                return None
+            name_len = int.from_bytes(raw[pos : pos + 4], "big")
+            pos += 4
+            if name_len > 4096 or pos + name_len + 12 > len(raw):
+                return None
+            try:
+                name = raw[pos : pos + name_len].decode("utf-8")
+            except UnicodeDecodeError:
+                return None
+            pos += name_len
+            payload_len = int.from_bytes(raw[pos : pos + 8], "big")
+            crc = int.from_bytes(raw[pos + 8 : pos + 12], "big")
+            pos += 12
+            if pos + payload_len > len(raw):
+                return None
+            payload = raw[pos : pos + payload_len]
+            pos += payload_len
+            if zlib.crc32(payload) != crc:
+                return None
+            records.append((name, payload))
+        return records
 
 
 class PageCache:

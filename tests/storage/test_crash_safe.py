@@ -1,0 +1,313 @@
+"""Crash-safety tests: a torn save must never be loadable.
+
+Two attack layers:
+
+* deterministic fault injection -- crash ``atomic_write_bytes`` at every
+  interesting interruption point (mid-payload write, before the rename,
+  at the directory fsync) and assert the target is bit-identical to its
+  pre-save state;
+* a real ``SIGKILL`` -- a child process saves in a tight loop and is
+  killed mid-flight; whatever file the corpse leaves behind must either
+  load cleanly or not exist under the target name.
+
+Plus the group-commit contract: one fsync per batch, torn journals are
+discarded (old state everywhere), complete journals replay exactly.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.bisim import bisimilar
+from repro.datasets import generate_movies
+from repro.storage import (
+    STORAGE_METRICS,
+    GraphStore,
+    GroupCommit,
+    SerializationError,
+    atomic_write_bytes,
+    dumps,
+    loads,
+)
+
+
+def sample(seed: int = 7):
+    return generate_movies(12, seed=seed)
+
+
+# -- fault-injected interruption points --------------------------------------------
+
+
+class TornWrite(RuntimeError):
+    pass
+
+
+def test_save_roundtrips(tmp_path: Path) -> None:
+    g = sample()
+    target = tmp_path / "g.graph"
+    GraphStore(g).save(target)
+    assert bisimilar(GraphStore.load(target).graph, g)
+
+
+def test_crash_mid_write_preserves_old_file(tmp_path: Path, monkeypatch) -> None:
+    old, new = sample(seed=1), sample(seed=2)
+    target = tmp_path / "g.graph"
+    GraphStore(old).save(target)
+    before = target.read_bytes()
+
+    budget = len(dumps(new)) // 2  # die with half the payload on disk
+
+    class TornFile:
+        """Wraps the real temp file; its write dies halfway through."""
+
+        def __init__(self, fh):
+            self._fh = fh
+
+        def write(self, data):
+            self._fh.write(data[:budget])
+            self._fh.flush()
+            raise TornWrite("power failed mid-write")
+
+        def __getattr__(self, name):
+            return getattr(self._fh, name)
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return self._fh.__exit__(*exc)
+
+    original_open = open
+
+    def torn_open(path, mode="r", *args, **kwargs):
+        fh = original_open(path, mode, *args, **kwargs)
+        if "b" in mode and "w" in mode and ".tmp." in str(path):
+            return TornFile(fh)
+        return fh
+
+    monkeypatch.setattr("builtins.open", torn_open)
+    with pytest.raises(TornWrite):
+        GraphStore(new).save(target)
+    monkeypatch.undo()
+
+    # old file untouched and loadable; no temp debris
+    assert target.read_bytes() == before
+    assert bisimilar(GraphStore.load(target).graph, old)
+    assert [p.name for p in tmp_path.iterdir()] == ["g.graph"]
+
+
+def test_crash_before_rename_preserves_old_file(tmp_path: Path, monkeypatch) -> None:
+    old, new = sample(seed=3), sample(seed=4)
+    target = tmp_path / "g.graph"
+    GraphStore(old).save(target)
+    before = target.read_bytes()
+
+    def no_replace(src, dst):
+        raise TornWrite("killed between fsync and rename")
+
+    monkeypatch.setattr(os, "replace", no_replace)
+    with pytest.raises(TornWrite):
+        GraphStore(new).save(target)
+    monkeypatch.undo()
+
+    assert target.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["g.graph"]
+
+
+def test_crash_creating_fresh_file_leaves_nothing(tmp_path: Path, monkeypatch) -> None:
+    target = tmp_path / "fresh.graph"
+
+    def no_replace(src, dst):
+        raise TornWrite("killed before first rename")
+
+    monkeypatch.setattr(os, "replace", no_replace)
+    with pytest.raises(TornWrite):
+        GraphStore(sample()).save(target)
+    monkeypatch.undo()
+
+    assert not target.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_truncated_payload_never_escapes_as_untyped(tmp_path: Path) -> None:
+    """Even a file torn by some *other* writer fails typed on load."""
+    target = tmp_path / "g.graph"
+    GraphStore(sample()).save(target)
+    payload = target.read_bytes()
+    for cut in (0, 1, 4, len(payload) // 2, len(payload) - 1):
+        target.write_bytes(payload[:cut])
+        with pytest.raises(SerializationError):
+            GraphStore.load(target)
+
+
+def test_durable_false_skips_fsync(tmp_path: Path, monkeypatch) -> None:
+    calls = []
+    monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+    GraphStore(sample()).save(tmp_path / "a.graph", durable=False)
+    assert calls == []
+    GraphStore(sample()).save(tmp_path / "b.graph", durable=True)
+    assert len(calls) >= 1
+
+
+# -- a real SIGKILL mid-save -------------------------------------------------------
+
+
+KILL_CHILD = """
+import sys
+from repro.datasets import generate_movies
+from repro.storage import GraphStore
+
+target = sys.argv[1]
+store = GraphStore(generate_movies(60, seed=9))
+print("ready", flush=True)
+while True:  # save forever; the parent pulls the plug mid-flight
+    store.save(target)
+"""
+
+
+def test_sigkill_mid_save_never_leaves_torn_target(tmp_path: Path) -> None:
+    target = tmp_path / "victim.graph"
+    expected = dumps(generate_movies(60, seed=9))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", KILL_CHILD, str(target)],
+        stdout=subprocess.PIPE,
+        env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        assert proc.stdout.readline().strip() == b"ready"
+        time.sleep(0.15)  # let some saves land, then pull the plug mid-loop
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test failure
+            proc.kill()
+            proc.wait()
+
+    # The target, if visible, is a complete save -- never a prefix.
+    assert target.exists(), "child was killed before any save completed"
+    assert target.read_bytes() == expected
+    assert loads(target.read_bytes()) is not None
+    # Temp debris from the interrupted save may exist but never shadows
+    # the target name (dot-prefixed), so no loader can pick it up.
+    for leftover in tmp_path.iterdir():
+        if leftover != target:
+            assert leftover.name.startswith(".victim.graph.tmp.")
+
+
+# -- group commit ------------------------------------------------------------------
+
+
+def test_group_commit_applies_batch(tmp_path: Path) -> None:
+    graphs = [sample(seed=s) for s in range(4)]
+    gc = GroupCommit(tmp_path / "commits")
+    for i, g in enumerate(graphs):
+        gc.add(g, f"snap-{i}.graph")
+    assert gc.pending == 4
+    assert gc.flush() == 4
+    assert gc.pending == 0
+    assert not gc.journal_path.exists()
+    for i, g in enumerate(graphs):
+        assert bisimilar(GraphStore.load(tmp_path / "commits" / f"snap-{i}.graph").graph, g)
+
+
+def test_group_commit_one_fsync_per_batch(tmp_path: Path, monkeypatch) -> None:
+    """The whole point: N durable saves cost 1 fsync, not 2N."""
+    fsyncs = []
+    monkeypatch.setattr(os, "fsync", lambda fd: fsyncs.append(fd))
+    gc = GroupCommit(tmp_path / "commits")
+    for i in range(8):
+        gc.add(sample(seed=i), f"snap-{i}.graph")
+    gc.flush()
+    assert len(fsyncs) == 1
+
+
+def test_group_commit_torn_journal_is_discarded(tmp_path: Path) -> None:
+    """A crash *before* the journal fsync: nothing was durable, old state wins."""
+    directory = tmp_path / "commits"
+    old = sample(seed=5)
+    gc = GroupCommit(directory)
+    gc.add(old, "a.graph")
+    gc.flush()
+    before = (directory / "a.graph").read_bytes()
+
+    # Simulate the torn journal the crashed flush would leave behind.
+    good = GroupCommit.MAGIC + b"\x00\x00\x00\x07a.graph"
+    for torn in (b"", b"SS", b"XXXX", good, good + b"\x00" * 5):
+        gc.journal_path.write_bytes(torn)
+        assert GroupCommit.recover(directory) == 0
+        assert not gc.journal_path.exists()
+        assert (directory / "a.graph").read_bytes() == before
+
+
+def test_group_commit_corrupt_crc_is_discarded(tmp_path: Path) -> None:
+    directory = tmp_path / "commits"
+    directory.mkdir()
+    payload = dumps(sample(seed=6))
+    journal = bytearray(GroupCommit.MAGIC)
+    name = b"a.graph"
+    journal += len(name).to_bytes(4, "big") + name
+    journal += len(payload).to_bytes(8, "big")
+    journal += (0xDEADBEEF).to_bytes(4, "big")  # wrong CRC
+    journal += payload
+    (directory / ".commit-journal").write_bytes(bytes(journal))
+    assert GroupCommit.recover(directory) == 0
+    assert not (directory / "a.graph").exists()
+
+
+def test_group_commit_recovery_replays_complete_journal(tmp_path: Path, monkeypatch) -> None:
+    """A crash *after* the journal fsync but before the targets land."""
+    directory = tmp_path / "commits"
+    graphs = {f"snap-{i}.graph": sample(seed=10 + i) for i in range(3)}
+    gc = GroupCommit(directory)
+    for name, g in graphs.items():
+        gc.add(g, name)
+
+    # Crash the apply phase: the journal is durable, no target was written.
+    real_replace = os.replace
+    monkeypatch.setattr(os, "replace", lambda s, d: (_ for _ in ()).throw(TornWrite("died")))
+    with pytest.raises(TornWrite):
+        gc.flush()
+    monkeypatch.setattr(os, "replace", real_replace)
+
+    assert gc.journal_path.exists()
+    assert GroupCommit.recover(directory) == 3
+    assert not gc.journal_path.exists()
+    for name, g in graphs.items():
+        assert bisimilar(GraphStore.load(directory / name).graph, g)
+    # Recovery is idempotent once the journal is gone.
+    assert GroupCommit.recover(directory) == 0
+
+
+def test_group_commit_rejects_escaping_names(tmp_path: Path) -> None:
+    gc = GroupCommit(tmp_path / "commits")
+    with pytest.raises(ValueError):
+        gc.add(sample(), "../outside.graph")
+    with pytest.raises(ValueError):
+        gc.add(sample(), "/etc/evil.graph")
+
+
+def test_group_commit_metrics(tmp_path: Path) -> None:
+    commits = STORAGE_METRICS.counter("group_commits").value
+    records = STORAGE_METRICS.counter("group_commit_records").value
+    gc = GroupCommit(tmp_path / "commits")
+    gc.add(sample(), "a.graph")
+    gc.add(sample(), "b.graph")
+    gc.flush()
+    assert STORAGE_METRICS.counter("group_commits").value == commits + 1
+    assert STORAGE_METRICS.counter("group_commit_records").value == records + 2
+
+
+def test_atomic_write_bytes_plain(tmp_path: Path) -> None:
+    target = tmp_path / "blob.bin"
+    atomic_write_bytes(target, b"abc")
+    assert target.read_bytes() == b"abc"
+    atomic_write_bytes(target, b"xyz", fsync=False)
+    assert target.read_bytes() == b"xyz"
