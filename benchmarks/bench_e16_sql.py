@@ -1,0 +1,241 @@
+"""E16 -- the compile-to-relational backend vs the native kernel.
+
+Three workload families over the PR-7 SQL backend, with the warm
+fast-path kernel (frozen CSR snapshot, cached plan) as the baseline
+everywhere:
+
+* **flat RPQ** -- fixed/record-shaped chains on the relational bridge
+  catalog and the movies OEM, where the compiler emits sargable
+  ``wide``/``chain`` plans and sqlite's indexes do the work;
+* **deep RPQ** -- Kleene-star closures on the web graph, where the
+  compiled recursive CTE re-runs the kernel's BFS without its pruning:
+  the ``auto`` route must keep these native and stay within 10% of the
+  bare kernel;
+* **Lorel** -- a filtered clause chain, native binding enumeration vs
+  the SQL join plan.
+
+The acceptance gates: SQL >= 1.5x the kernel on at least one flat
+workload, and ``auto`` never loses more than 10% to the kernel on a
+closure the policy keeps native.  ``BENCH_SMOKE=1`` shrinks the sweep
+and skips the ratio assertions (shared CI runners are too noisy to
+gate on).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import print_table, timed
+
+from repro.core.convert import graph_to_oem
+from repro.core.frozen import freeze
+from repro.datasets import generate_movies, generate_web
+from repro.datasets.relational_data import generate_catalog
+from repro.lorel import parse_lorel
+from repro.lorel.evaluator import lorel_bindings
+from repro.obs.export import write_bench
+from repro.planner import planner_for
+from repro.relational.encode import relational_to_graph
+from repro.schema.dataguide import DataGuide
+from repro.sqlbackend import SqlBackend, lorel_sql_backend_for
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+MOVIES = 30 if SMOKE else 200
+CATALOG = (30, 15) if SMOKE else (400, 150)
+PAGES = 30 if SMOKE else 150
+QUERY_REPEAT = 3 if SMOKE else 25
+
+#: The flat workloads: record-shaped chains the compiler answers with
+#: ``wide`` single-table scans or pruned self-join ``chain`` plans.
+FLAT = {
+    "catalog": ["Movies.tuple.title", "Casts.tuple.actor", "Movies.tuple.year"],
+    "movies": ["Entry.Movie.Title", "Entry.Movie.Cast.Actors"],
+}
+
+#: The deep workloads: closures whose compiled form is a recursive CTE
+#: -- the routing policy keeps every one of these on the kernel.
+DEEP = ["link*.title", "link*.keyword", "link.link*.title"]
+
+_RECORDS: dict = {}
+
+
+def _flat_graphs():
+    return {
+        "catalog": relational_to_graph(generate_catalog(*CATALOG, seed=2)),
+        "movies": generate_movies(MOVIES, seed=23),
+    }
+
+
+def test_e16_flat_sql_vs_kernel(benchmark):
+    """Sargable plans on flat data: sqlite joins vs the Python kernel."""
+    rows = []
+    speedups = []
+    backends = {}
+    for name, graph in _flat_graphs().items():
+        fg = freeze(graph)
+        planner = planner_for(fg)
+        backend = SqlBackend(fg, guide=DataGuide(fg))
+        backends[name] = backend
+        for pattern in FLAT[name]:
+            plan = backend.compile(pattern)  # warm the plan cache
+            native_res = planner.rpq(pattern, strategy="kernel")
+            assert backend.rpq_nodes(pattern) == native_res
+
+            def native():
+                return [
+                    planner.rpq(pattern, strategy="kernel")
+                    for _ in range(QUERY_REPEAT)
+                ]
+
+            def via_sql():
+                return [backend.rpq_nodes(pattern) for _ in range(QUERY_REPEAT)]
+
+            native_s, _ = timed(native)
+            sql_s, _ = timed(via_sql)
+            speedup = native_s / sql_s if sql_s else float("inf")
+            speedups.append(speedup)
+            _RECORDS.setdefault("flat", {})[f"{name}/{pattern}"] = {
+                "kind": plan.kind,
+                "nodes": len(native_res),
+                "native_s": native_s,
+                "sql_s": sql_s,
+                "speedup": speedup,
+            }
+            rows.append(
+                (
+                    f"{name}/{pattern}",
+                    plan.kind,
+                    len(native_res),
+                    f"{native_s * 1e3:.2f}ms",
+                    f"{sql_s * 1e3:.2f}ms",
+                    f"x{speedup:.1f}",
+                )
+            )
+    print_table(
+        f"E16a: flat chains, SQL vs kernel (catalog{CATALOG[0]}, movies{MOVIES})",
+        ["workload", "plan", "nodes", "kernel", "sql", "speedup"],
+        rows,
+    )
+    if not SMOKE:
+        assert max(speedups) >= 1.5, speedups
+    backend = backends["catalog"]
+    benchmark(lambda: backend.rpq_nodes(FLAT["catalog"][0]))
+
+
+def test_e16_deep_auto_stays_native(benchmark):
+    """Closures: the CTE loses to the kernel, so ``auto`` must not pay it."""
+    fg = freeze(generate_web(PAGES, seed=7))
+    planner = planner_for(fg)
+    planner.attach_sql()
+    backend = SqlBackend(fg)
+    rows = []
+    auto_ratios = []
+    for pattern in DEEP:
+        native_res = planner.rpq(pattern, strategy="kernel")
+        assert backend.rpq_nodes(pattern) == native_res
+        assert planner.rpq(pattern, strategy="auto") == native_res
+
+        def native():
+            return [
+                planner.rpq(pattern, strategy="kernel") for _ in range(QUERY_REPEAT)
+            ]
+
+        def auto():
+            return [
+                planner.rpq(pattern, strategy="auto") for _ in range(QUERY_REPEAT)
+            ]
+
+        def via_sql():
+            return [backend.rpq_nodes(pattern) for _ in range(QUERY_REPEAT)]
+
+        native_s, _ = timed(native)
+        auto_s, _ = timed(auto)
+        sql_s, _ = timed(via_sql)
+        ratio = auto_s / native_s if native_s else float("inf")
+        auto_ratios.append(ratio)
+        _RECORDS.setdefault("deep", {})[pattern] = {
+            "nodes": len(native_res),
+            "native_s": native_s,
+            "auto_s": auto_s,
+            "sql_s": sql_s,
+            "auto_over_native": ratio,
+        }
+        rows.append(
+            (
+                pattern,
+                len(native_res),
+                f"{native_s * 1e3:.2f}ms",
+                f"{auto_s * 1e3:.2f}ms",
+                f"{sql_s * 1e3:.2f}ms",
+                f"x{ratio:.2f}",
+            )
+        )
+    print_table(
+        f"E16b: closures, auto routing overhead (web{PAGES})",
+        ["pattern", "nodes", "kernel", "auto", "sql-cte", "auto/kernel"],
+        rows,
+    )
+    if not SMOKE:
+        assert max(auto_ratios) <= 1.10, auto_ratios
+    benchmark(lambda: planner.rpq(DEEP[0], strategy="auto"))
+
+
+def test_e16_lorel_sql_vs_native(benchmark):
+    """Filtered clause chains: the SQL join plan vs native enumeration."""
+    db = graph_to_oem(generate_movies(MOVIES, seed=23))
+    backend = lorel_sql_backend_for(db)
+    queries = [
+        "select m.Title from DB.Entry.Movie m where m.Year < 1960",
+        "select m.Title, c.Actors from DB.Entry.Movie m, m.Cast c",
+    ]
+    rows = []
+    for text in queries:
+        query = parse_lorel(text)
+        backend.compile(query)  # warm
+        native_envs = lorel_bindings(query, db)
+        assert backend.bindings(query) == native_envs
+
+        def native():
+            return [lorel_bindings(query, db) for _ in range(QUERY_REPEAT)]
+
+        def via_sql():
+            return [backend.bindings(query) for _ in range(QUERY_REPEAT)]
+
+        native_s, _ = timed(native)
+        sql_s, _ = timed(via_sql)
+        speedup = native_s / sql_s if sql_s else float("inf")
+        _RECORDS.setdefault("lorel", {})[text] = {
+            "bindings": len(native_envs),
+            "native_s": native_s,
+            "sql_s": sql_s,
+            "speedup": speedup,
+        }
+        rows.append(
+            (
+                text,
+                len(native_envs),
+                f"{native_s * 1e3:.2f}ms",
+                f"{sql_s * 1e3:.2f}ms",
+                f"x{speedup:.1f}",
+            )
+        )
+    print_table(
+        f"E16c: Lorel bindings, SQL vs native (movies{MOVIES} OEM)",
+        ["query", "bindings", "native", "sql", "speedup"],
+        rows,
+    )
+
+    write_bench(
+        "e16_sql",
+        {
+            "movies": MOVIES,
+            "catalog": list(CATALOG),
+            "pages": PAGES,
+            "query_repeat": QUERY_REPEAT,
+            "timings": _RECORDS,
+        },
+        Path(__file__).parent / "out",
+    )
+    query = parse_lorel(queries[0])
+    benchmark(lambda: backend.bindings(query))

@@ -66,14 +66,35 @@ def _cmd_dot(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    result = unql(args.query, db=load_database(args.file))
+    g = load_database(args.file)
+    if getattr(args, "engine", "native") == "native":
+        result = unql(args.query, db=g)
+    else:
+        # sql and auto both route through unql_sql: compilable root-level
+        # members run on sqlite, everything else stays native per member.
+        from .sqlbackend import unql_sql
+        from .unql import parse_query
+
+        result = unql_sql(parse_query(args.query), {"db": g})
     print(render(result))
     return 0
 
 
 def _cmd_lorel(args) -> int:
     db = graph_to_oem(load_database(args.file))
-    for i, row in enumerate(lorel_rows(lorel(args.query, db))):
+    engine = getattr(args, "engine", "native")
+    if engine == "native":
+        answer = lorel(args.query, db)
+    else:
+        from .sqlbackend import NotCompilable, lorel_sql
+
+        try:
+            answer = lorel_sql(args.query, db)
+        except NotCompilable:
+            if engine == "sql":
+                raise  # explicit sql: surface the reason instead of hiding it
+            answer = lorel(args.query, db)
+    for i, row in enumerate(lorel_rows(answer)):
         print(f"row {i}: {row}")
     return 0
 
@@ -387,11 +408,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("query", help="run a UnQL query")
     p.add_argument("file")
     p.add_argument("query")
+    p.add_argument(
+        "--engine",
+        choices=["native", "sql", "auto"],
+        default="native",
+        help="evaluation engine: native traversal, or the SQL backend",
+    )
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("lorel", help="run a Lorel query")
     p.add_argument("file")
     p.add_argument("query")
+    p.add_argument(
+        "--engine",
+        choices=["native", "sql", "auto"],
+        default="native",
+        help="sql requires a compilable query; auto falls back to native",
+    )
     p.set_defaults(fn=_cmd_lorel)
 
     p = sub.add_parser("datalog", help="run a datalog program")

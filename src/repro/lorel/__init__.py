@@ -19,6 +19,7 @@ from .ast import LorelQuery
 from .coerce import compare_values, like_value
 from .evaluator import (
     LorelRuntimeError,
+    construct_answer,
     evaluate_lorel,
     evaluate_lorel_profiled,
     lorel_bindings,
@@ -35,6 +36,7 @@ __all__ = [
     "evaluate_lorel_profiled",
     "lorel_bindings",
     "lorel_bindings_profiled",
+    "construct_answer",
     "reorder_from_clauses",
     "clause_cost",
     "compare_values",

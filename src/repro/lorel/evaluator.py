@@ -43,6 +43,7 @@ __all__ = [
     "evaluate_lorel_profiled",
     "lorel_bindings",
     "lorel_bindings_profiled",
+    "construct_answer",
     "LorelRuntimeError",
 ]
 
@@ -409,6 +410,22 @@ def _construct_answer(
             for oid in sorted(runner.path_targets(item.operand, env)):
                 answer.add_child(row, label, copy_into(oid))
     return answer
+
+
+def construct_answer(
+    query: LorelQuery,
+    db: OemDatabase,
+    envs: "list[dict[str, Oid]]",
+    db_name: str = "DB",
+) -> OemDatabase:
+    """Build the ``Answer`` database from precomputed environments.
+
+    The public face of the construction phase, for engines (notably the
+    SQL backend) that compute the binding environments by other means:
+    answer databases are then identical by construction, because both
+    engines share this exact code for the select phase.
+    """
+    return _construct_answer(query, db, _Runner(db, db_name), envs)
 
 
 def evaluate_lorel(

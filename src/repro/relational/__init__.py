@@ -32,11 +32,17 @@ from .algebra import (
 )
 from .encode import (
     EDGE_SCHEMA,
+    OEM_ATOM_SCHEMA,
+    OEM_EDGE_SCHEMA,
+    OEM_NAME_SCHEMA,
+    dump_relations,
     edge_relation_to_graph,
     graph_to_edge_relation,
     graph_to_relational,
     graph_to_typed_relations,
+    oem_to_relations,
     relational_to_graph,
+    relations_to_oem,
 )
 from .relation import Relation, RelationError
 
@@ -63,9 +69,15 @@ __all__ = [
     "Difference",
     "evaluate",
     "EDGE_SCHEMA",
+    "OEM_EDGE_SCHEMA",
+    "OEM_ATOM_SCHEMA",
+    "OEM_NAME_SCHEMA",
     "graph_to_edge_relation",
     "graph_to_typed_relations",
     "edge_relation_to_graph",
     "relational_to_graph",
     "graph_to_relational",
+    "oem_to_relations",
+    "relations_to_oem",
+    "dump_relations",
 ]

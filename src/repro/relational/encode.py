@@ -14,6 +14,18 @@ Three encodings from the paper:
   (:func:`relational_to_graph`), invertible on its image by
   :func:`graph_to_relational`.  This encoding is the bridge experiment E4
   walks across to compare UnQL with the relational algebra.
+* **OEM database as relations** -- the Lorel side of the same bridge:
+  :func:`oem_to_relations` shreds an :class:`~repro.core.oem.OemDatabase`
+  into ``edges`` / ``atoms`` / ``names`` relations and
+  :func:`relations_to_oem` rebuilds it *identically* (same oids, same
+  child order, cycles and shared subobjects included).  This exact
+  encoding, loaded into sqlite, is what :mod:`repro.sqlbackend` compiles
+  Lorel queries against -- the round-trip property suite is the proof
+  that nothing is lost in translation.
+
+Row iteration everywhere below is in sorted node order, so the relations
+-- and the canonical text of :func:`dump_relations` -- are byte-stable
+across runs for equal inputs.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from typing import Mapping
 
 from ..core.graph import Graph
 from ..core.labels import Label, LabelKind, label_of, sym
+from ..core.oem import OemDatabase
 from .relation import Relation, RelationError
 
 __all__ = [
@@ -30,11 +43,25 @@ __all__ = [
     "edge_relation_to_graph",
     "relational_to_graph",
     "graph_to_relational",
+    "oem_to_relations",
+    "relations_to_oem",
+    "dump_relations",
     "EDGE_SCHEMA",
+    "OEM_EDGE_SCHEMA",
+    "OEM_ATOM_SCHEMA",
+    "OEM_NAME_SCHEMA",
 ]
 
 #: Schema of the wide edge relation.
 EDGE_SCHEMA = ("src", "kind", "label", "dst")
+
+#: Schemas of the OEM shredding.  ``pos`` is the child's index in its
+#: parent's child list: relations are sets, and without it the encoding
+#: would collapse duplicate ``(label, child)`` pairs and forget order --
+#: both observable through OEM object identity.
+OEM_EDGE_SCHEMA = ("src", "pos", "label", "dst")
+OEM_ATOM_SCHEMA = ("oid", "kind", "value")
+OEM_NAME_SCHEMA = ("name", "oid")
 
 
 def graph_to_edge_relation(graph: Graph) -> tuple[Relation, int]:
@@ -45,7 +72,7 @@ def graph_to_edge_relation(graph: Graph) -> tuple[Relation, int]:
     forward-reachable data).
     """
     rows = []
-    for node in graph.reachable():
+    for node in sorted(graph.reachable()):
         for edge in graph.edges_from(node):
             rows.append((edge.src, edge.label.kind.value, edge.label.value, edge.dst))
     return Relation(EDGE_SCHEMA, rows), graph.root
@@ -59,7 +86,7 @@ def graph_to_typed_relations(graph: Graph) -> tuple[dict[str, Relation], int]:
     names (``symbol``, ``int``...); kinds that never occur are absent.
     """
     buckets: dict[str, list[tuple]] = {}
-    for node in graph.reachable():
+    for node in sorted(graph.reachable()):
         for edge in graph.edges_from(node):
             buckets.setdefault(edge.label.kind.value, []).append(
                 (edge.src, edge.label.value, edge.dst)
@@ -163,3 +190,123 @@ def graph_to_relational(graph: Graph) -> dict[str, Relation]:
                 )
         catalog[table] = Relation(schema, (tuple(r[a] for a in schema) for r in raw_rows))
     return catalog
+
+
+# ---------------------------------------------------------------------------
+# The OEM shredding: the encoding the SQL backend queries.
+
+
+def _atom_kind(value: object) -> str:
+    """The storage-class discriminator of an atomic value.
+
+    ``bool`` is checked before ``int`` (Python bools *are* ints) so that
+    ``True`` and ``1`` -- distinct OEM atoms under Lorel's coercions --
+    stay distinct rows.
+    """
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "real"
+    return "string"
+
+
+def _decode_atom(kind: str, value: object) -> object:
+    """Inverse of :func:`_atom_kind` + storage: rebuild the Python atom."""
+    if kind == "bool":
+        return bool(value)
+    if kind == "int":
+        return int(value)  # type: ignore[arg-type]
+    if kind == "real":
+        return float(value)  # type: ignore[arg-type]
+    return str(value)
+
+
+def oem_to_relations(db: OemDatabase) -> dict[str, Relation]:
+    """Shred an OEM database into ``edges`` / ``atoms`` / ``names``.
+
+    Every object appears: atomic oids as ``atoms`` rows (with a kind
+    discriminator so ``True``/``1`` and ``5``/``5.0`` survive), complex
+    oids as the ``src`` of their ``edges`` rows -- and childless complex
+    objects as an ``atoms`` row with kind ``complex`` and a ``None``
+    value, so emptiness is not confused with atomicity on the way back.
+    """
+    edge_rows: list[tuple] = []
+    atom_rows: list[tuple] = []
+    for oid in sorted(db.oids()):
+        obj = db.get(oid)
+        if obj.is_atomic:
+            atom_rows.append((oid, _atom_kind(obj.atom), obj.atom))
+            continue
+        if not obj.children:
+            atom_rows.append((oid, "complex", None))
+        for pos, (label, child) in enumerate(obj.children):
+            edge_rows.append((oid, pos, label, child))
+    name_rows = [(name, oid) for name, oid in sorted(db.names.items())]
+    return {
+        "edges": Relation(OEM_EDGE_SCHEMA, edge_rows),
+        "atoms": Relation(OEM_ATOM_SCHEMA, atom_rows),
+        "names": Relation(OEM_NAME_SCHEMA, name_rows),
+    }
+
+
+def relations_to_oem(catalog: Mapping[str, Relation]) -> OemDatabase:
+    """Rebuild the OEM database :func:`oem_to_relations` shredded.
+
+    The result is *identical*, not merely isomorphic: oids are preserved
+    (OEM allocates them densely from 1, and the rebuild allocates in the
+    same sorted order), child lists keep their recorded positions, and
+    cycles/shared subobjects come back because children are attached by
+    oid after every object exists.
+    """
+    edges = catalog["edges"]
+    atoms = catalog["atoms"]
+    names = catalog["names"]
+    if edges.schema != OEM_EDGE_SCHEMA or atoms.schema != OEM_ATOM_SCHEMA:
+        raise RelationError("catalog does not carry the OEM schemas")
+    atom_of = {row[0]: (row[1], row[2]) for row in atoms.rows}
+    children_of: dict[int, list[tuple[int, str, int]]] = {}
+    atomic_oids = {row[0] for row in atoms.rows if row[1] != "complex"}
+    complex_oids = {row[0] for row in atoms.rows if row[1] == "complex"}
+    for src, pos, label, dst in edges.rows:
+        children_of.setdefault(src, []).append((pos, label, dst))
+        complex_oids.add(src)
+    all_oids = sorted(
+        atomic_oids | complex_oids | {dst for _, _, _, dst in edges.rows}
+    )
+    if all_oids != list(range(1, len(all_oids) + 1)):
+        raise RelationError(
+            "OEM relations must use the dense oid space 1..N the model allocates"
+        )
+    db = OemDatabase()
+    for oid in all_oids:
+        if oid in atomic_oids:
+            kind, value = atom_of[oid]
+            got = db.new_atomic(_decode_atom(kind, value))
+        else:
+            got = db.new_complex()
+        assert got == oid  # dense allocation reproduces the ids
+    for src in sorted(children_of):
+        for _pos, label, dst in sorted(children_of[src]):
+            db.add_child(src, label, dst)
+    for name, oid in sorted(names.rows):
+        db.set_name(str(name), oid)
+    return db
+
+
+def dump_relations(catalog: Mapping[str, Relation]) -> str:
+    """A canonical, byte-stable text dump of a relation catalog.
+
+    Tables sort by name, rows by ``repr`` (total over the heterogeneous
+    value types); two equal catalogs always dump to the same bytes, so
+    the round-trip suite can assert on text equality and humans can diff
+    dumps like any golden file.
+    """
+    lines: list[str] = []
+    for table in sorted(catalog):
+        rel = catalog[table]
+        lines.append(f"-- {table}({', '.join(rel.schema)}) [{len(rel)} rows]")
+        for row in sorted(rel.rows, key=repr):
+            lines.append("  " + ", ".join(repr(v) for v in row))
+    return "\n".join(lines) + "\n"

@@ -15,7 +15,8 @@ Request::
     {"id": 1, "op": "rpq", "query": "Entry.Movie.Title",
      "deadline": 0.5,        # optional: seconds of clock budget
      "budget": 100000,       # optional: max edges scanned
-     "profile": false}       # optional: attach a QueryProfile
+     "profile": false,       # optional: attach a QueryProfile
+     "engine": "auto"}       # optional: native | sql | auto
 
 ``op`` is one of ``rpq | lorel | unql | find | stats | ping | cancel``;
 ``cancel`` carries ``{"target": <id>}`` instead of a query.
@@ -137,6 +138,11 @@ def validate_request(obj: dict) -> dict:
     elif op in ("rpq", "lorel", "unql", "find"):
         if not isinstance(obj.get("query"), str):
             raise ProtocolError(f"op {op!r} needs a string 'query'")
+        engine = obj.get("engine")
+        if engine is not None and engine not in ("native", "sql", "auto"):
+            raise ProtocolError(
+                f"'engine' must be 'native', 'sql' or 'auto', got {engine!r}"
+            )
     for field, kinds in (("deadline", (int, float)), ("budget", (int,))):
         value = obj.get(field)
         if value is not None:

@@ -38,7 +38,12 @@ import json
 from typing import TYPE_CHECKING, Iterator
 
 from ..automata.plan_cache import PlanCache
-from ..automata.product import RpqStepper, interrupted_completeness, rpq_nodes_profiled
+from ..automata.product import (
+    RpqStepper,
+    interrupted_completeness,
+    rpq_nodes,
+    rpq_nodes_profiled,
+)
 from ..browse import find_value_profiled, where_is
 from ..core.builder import to_obj
 from ..core.convert import graph_to_oem
@@ -200,6 +205,9 @@ class QueryService:
         self._cancelled_counter = metrics.counter("service_cancelled")
         self._requests = metrics.counter("service_requests")
         self._ops_histogram = metrics.histogram("service_query_ops")
+        self._sql_answered = metrics.counter("service_sql_answered")
+        self._sql_fallback = metrics.counter("service_sql_fallback")
+        self._sql_backend = None
 
     # -- connection lifecycle ----------------------------------------------------
 
@@ -286,7 +294,11 @@ class QueryService:
             # fails here without touching an engine
             control.checkpoint(0)
             self._guard_worker(op)
-            if op == "rpq" and not request.get("profile"):
+            if (
+                op == "rpq"
+                and not request.get("profile")
+                and request.get("engine", "native") == "native"
+            ):
                 stepper = RpqStepper(
                     self.frozen, request["query"], plan_cache=self.plan_cache
                 )
@@ -367,11 +379,23 @@ class QueryService:
         """
         query = request.get("query", "")
         profiled = bool(request.get("profile"))
-        if op == "rpq":  # profiled rpq (plain rpq streams through the stepper)
-            results, profile = rpq_nodes_profiled(self.frozen, query)
-            return self._respond(
-                rid, "ok", result=sorted(results), profile=profile.as_dict()
-            )
+        # profiled twins always run native: their operation counts are the
+        # golden-parity contract, and the SQL engine has no QueryProfile
+        engine = "native" if profiled else str(request.get("engine", "native"))
+        if engine in ("sql", "auto") and op in ("rpq", "lorel", "unql"):
+            response = self._sql_oneshot(rid, op, query, engine)
+            if response is not None:
+                return response
+        if op == "rpq":
+            if profiled:
+                results, profile = rpq_nodes_profiled(self.frozen, query)
+                return self._respond(
+                    rid, "ok", result=sorted(results), profile=profile.as_dict()
+                )
+            # an auto rpq that fell back from SQL (plain native rpq
+            # streams through the stepper and never reaches here)
+            results = rpq_nodes(self.frozen, query, plan_cache=self.plan_cache)
+            return self._respond(rid, "ok", result=sorted(results))
         if op == "lorel":
             if profiled:
                 answer, profile = evaluate_lorel_profiled(
@@ -406,6 +430,47 @@ class QueryService:
                 rid, "ok", result=[str(f) for f in findings], profile=profile.as_dict()
             )
         return self._respond(rid, "ok", result=where_is(self.graph, value))
+
+    def _sql_oneshot(self, rid: int, op: str, query: str, engine: str) -> "dict | None":
+        """One query op on the SQL engine, or ``None`` to fall back native.
+
+        ``engine == "auto"`` turns :class:`NotCompilable` into a counted
+        native fallback; ``engine == "sql"`` lets it propagate (it is a
+        ``ValueError``, so the caller's fault boundary returns a typed
+        ``error`` response -- never a wrong answer).  Successful SQL
+        answers carry ``engine: "sql"`` so clients can tell who served.
+        """
+        from ..sqlbackend import NotCompilable, lorel_sql_backend_for, unql_sql
+
+        try:
+            if op == "rpq":
+                # auto mirrors the planner policy: sargable plans go to
+                # SQL, fixpoint (closure) plans stay on the native kernel
+                if engine == "auto" and not self.sql_backend.favors(query):
+                    self._sql_fallback.inc()
+                    return None
+                nodes = self.sql_backend.rpq_nodes(query, tracer=self.tracer)
+                result: object = sorted(nodes)
+            elif op == "lorel":
+                answer = lorel_sql_backend_for(self.oem).evaluate(
+                    parse_lorel(query), tracer=self.tracer
+                )
+                result = lorel_rows(answer)
+            else:  # unql: per-member routing, uncompilable members stay native
+                result = to_obj(
+                    unql_sql(
+                        parse_query(query),
+                        {"db": self.graph, "DB": self.graph},
+                        backend=self.sql_backend,
+                    )
+                )
+        except NotCompilable:
+            if engine == "sql":
+                raise
+            self._sql_fallback.inc()
+            return None
+        self._sql_answered.inc()
+        return self._respond(rid, "ok", result=result, engine="sql")
 
     def _interrupted(
         self,
@@ -451,6 +516,15 @@ class QueryService:
         if self._oem is None:
             self._oem = graph_to_oem(self.graph)
         return self._oem
+
+    @property
+    def sql_backend(self):
+        """The snapshot's SQL engine, built on first ``engine: sql`` query."""
+        if self._sql_backend is None:
+            from ..sqlbackend import sql_backend_for
+
+            self._sql_backend = sql_backend_for(self.frozen)
+        return self._sql_backend
 
     def stats(self) -> dict[str, object]:
         """The ``stats`` op payload: admission, sessions, snapshot, metrics."""

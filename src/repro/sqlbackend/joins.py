@@ -1,0 +1,69 @@
+"""Join-graph construction and greedy cost-based join ordering.
+
+A compiled chain query is an N-way self-join of the edge table; the
+order those joins are written in *is* the physical plan, because the
+compiler emits ``CROSS JOIN`` (which sqlite documents as a manual
+override: it never reorders across one).  Ordering is the classic
+greedy heuristic over a join graph -- start from the cheapest relation,
+then repeatedly take the cheapest relation *connected* to what is
+already joined (never a Cartesian product while a connected choice
+exists).  Costs are estimated rows from
+:class:`~repro.planner.GraphStatistics` label frequencies, the same
+numbers the Lorel clause reorder uses, so both optimizers rank work
+with one ruler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JoinNode", "JoinGraph", "greedy_order"]
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    """One relation occurrence: its alias and estimated row count."""
+
+    name: str
+    cost: float
+
+
+@dataclass
+class JoinGraph:
+    """Nodes plus connectivity (an edge = a usable join predicate)."""
+
+    nodes: list[JoinNode] = field(default_factory=list)
+    edges: set[frozenset[str]] = field(default_factory=set)
+
+    def add_node(self, name: str, cost: float) -> None:
+        self.nodes.append(JoinNode(name, cost))
+
+    def connect(self, a: str, b: str) -> None:
+        self.edges.add(frozenset((a, b)))
+
+    def connected(self, name: str, chosen: "set[str]") -> bool:
+        return any(frozenset((name, other)) in self.edges for other in chosen)
+
+
+def greedy_order(graph: JoinGraph) -> list[str]:
+    """The greedy join order: cheapest first, stay connected.
+
+    Ties break by declaration order (the ``nodes`` list), which keeps
+    the emitted SQL -- and therefore the pinned ``.sql`` goldens --
+    deterministic for equal statistics.
+    """
+    remaining = list(graph.nodes)
+    if not remaining:
+        return []
+    first = min(remaining, key=lambda n: n.cost)
+    order = [first.name]
+    chosen = {first.name}
+    remaining.remove(first)
+    while remaining:
+        connected = [n for n in remaining if graph.connected(n.name, chosen)]
+        pool = connected if connected else remaining
+        best = min(pool, key=lambda n: n.cost)
+        order.append(best.name)
+        chosen.add(best.name)
+        remaining.remove(best)
+    return order

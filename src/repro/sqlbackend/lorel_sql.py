@@ -1,0 +1,431 @@
+"""Lowering Lorel's from/where core to SQL over the OEM tables.
+
+The split mirrors Lore's own architecture: the *binding environments*
+(the expensive, join-shaped part) are computed in SQL, and answer
+construction -- deep-copying projected objects into the ``Answer``
+database -- stays on the native evaluator, shared verbatim between
+engines.  One CTE per from-clause builds the environment table
+column-by-column::
+
+    WITH RECURSIVE
+    b0(c0) AS (...bind first alias...),
+    b1(c0, c1) AS (...extend with second...),
+    ...
+    SELECT c0, c1 FROM b1 AS b WHERE <where> ORDER BY c0, c1
+
+``SELECT DISTINCT`` per level reproduces the native set-of-targets
+semantics and ``ORDER BY c0..cN`` its nested ``sorted(targets)``
+enumeration, so the row list *is* the native environment list.  Closure
+paths materialize their DFA over the database's symbol vocabulary into
+a values table and run a recursive ``(seed, node, state)`` fixpoint;
+where-clauses become ``EXISTS`` subqueries over ``oem_atom`` calling
+the ``lorel_cmp`` / ``lorel_like`` UDFs -- the native coercions
+themselves, so the two engines cannot drift on ``"1942" = 1942``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.labels import sym
+from ..core.oem import OemError
+from ..lorel.ast import (
+    BoolOp,
+    Compare,
+    ExistsPredicate,
+    LikePredicate,
+    LiteralOperand,
+    LorelQuery,
+    NotOp,
+    PathOperand,
+)
+from ..lorel.coerce import compare_values, like_value
+from ..relational.encode import _atom_kind
+from .compiler import MAX_IN_LIST, CompiledQuery, _materialize_dfa, chain_steps
+from .errors import NotCompilable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.oem import OemDatabase
+
+__all__ = ["compile_lorel", "oem_vocabulary"]
+
+
+def oem_vocabulary(db: "OemDatabase") -> list[str]:
+    """The sorted distinct edge-label vocabulary of an OEM database."""
+    seen: set[str] = set()
+    for oid in db.oids():
+        obj = db.get(oid)
+        if not obj.is_atomic:
+            seen.update(label for label, _child in obj.children)
+    return sorted(seen)
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _label_clause(expr: str, names: "list[str]") -> str:
+    if len(names) == 1:
+        return f"{expr} = {_quote(names[0])}"
+    return f"{expr} IN ({', '.join(_quote(n) for n in sorted(names))})"
+
+
+def _resolve_names(preds, vocab: "list[str]") -> "list[str] | None":
+    """Vocabulary labels a step matches; ``None`` when unconstrained."""
+    matched = [n for n in vocab if any(p.matches(sym(n)) for p in preds)]
+    if len(matched) == len(vocab) and matched:
+        return None
+    if len(matched) > MAX_IN_LIST:
+        raise NotCompilable(
+            "vocabulary",
+            f"step matches {len(matched)} labels (cap {MAX_IN_LIST})",
+        )
+    return matched
+
+
+def _literal_pair(value: object) -> tuple[str, object]:
+    return _atom_kind(value), int(value) if isinstance(value, bool) else value
+
+
+class _LorelCompiler:
+    """One compilation: accumulates CTEs, columns, and parameters."""
+
+    def __init__(self, query: LorelQuery, db: "OemDatabase", db_name: str) -> None:
+        self.query = query
+        self.db = db
+        self.db_name = db_name
+        self.vocab = oem_vocabulary(db)
+        self.labels = [sym(n) for n in self.vocab]
+        self.ctes: list[str] = []
+        self.post_ctes: list[str] = []  # where-clause pair CTEs, after bN
+        self.params: list[object] = []
+        self.columns: dict[str, int] = {}  # alias -> column index
+        self.empty: "str | None" = None
+        self.counter = 0
+
+    # -- shared helpers -------------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def const_seed(self, base: str) -> int:
+        """Resolve a non-alias base exactly like the native runner.
+
+        The runner's guard comes first: a base that is neither the
+        database name nor a registered name is a native *runtime error*,
+        so compiling it (to anything) would change observable behavior
+        -- refuse instead.
+        """
+        if base != self.db_name and base not in self.db.names:
+            raise NotCompilable("base", f"unknown alias or database {base!r}")
+        try:
+            return self.db.lookup_name(
+                base if base in self.db.names else self.db_name
+            )
+        except OemError as exc:
+            raise NotCompilable("base", str(exc)) from exc
+
+    def seed_expr(self, base: str, row_alias: str) -> str:
+        """SQL expression for an operand's start object."""
+        if base in self.columns:
+            return f"{row_alias}.c{self.columns[base]}"
+        if base == self.db_name or base in self.db.names:
+            return str(self.const_seed(base))
+        raise NotCompilable("base", f"unknown alias or database {base!r}")
+
+    def dfa_cte(self, path) -> tuple[str, int, "list[int]"]:
+        """Materialize a closure path's DFA as a values CTE.
+
+        Returns ``(cte name, start state, accepting states)``.
+        """
+        start, transitions, accepting, _ = _materialize_dfa(path, self.labels)
+        name = self.fresh("d")
+        if transitions:
+            values = ", ".join(
+                f"({s}, {_quote(self.vocab[lid])}, {t})"
+                for s, lid, t in transitions
+            )
+            body = f"VALUES {values}"
+        else:
+            body = "SELECT 0, '', 0 WHERE 0"
+        self.ctes.append(f"{name}(s, lbl, t) AS (\n  {body}\n)")
+        return name, start, accepting
+
+    def pair_cte(self, path, seeds_sql: str) -> str:
+        """A ``(seed, node)`` closure-reachability CTE over ``seeds_sql``."""
+        dfa, start, accepting = self.dfa_cte(path)
+        pname = self.fresh("p")
+        wname = self.fresh("w")
+        self.post_ctes.append(
+            f"{pname}(seed, node, state) AS (\n"
+            f"  SELECT seed, seed, {start} FROM ({seeds_sql})\n"
+            "  UNION\n"
+            "  SELECT p.seed, e.dst, d.t\n"
+            f"  FROM {pname} AS p\n"
+            f"  JOIN {dfa} AS d ON d.s = p.state\n"
+            "  JOIN oem_edge AS e ON e.src = p.node AND e.label = d.lbl\n"
+            ")"
+        )
+        if accepting:
+            states = ", ".join(str(s) for s in accepting)
+            where = f"state IN ({states})" if len(accepting) > 1 else (
+                f"state = {accepting[0]}"
+            )
+        else:
+            where = "0"
+        self.post_ctes.append(
+            f"{wname}(seed, node) AS (\n"
+            f"  SELECT DISTINCT seed, node FROM {pname} WHERE {where}\n)"
+        )
+        return wname
+
+    # -- from clauses ---------------------------------------------------------
+
+    def compile_clauses(self) -> None:
+        for clause in self.query.from_clauses:
+            if clause.alias in self.columns:
+                raise NotCompilable("alias", f"rebound alias {clause.alias!r}")
+            k = len(self.columns)
+            prev = f"b{k - 1}" if k else None
+            cols = [f"c{i}" for i in range(k + 1)]
+            steps = (
+                [] if clause.path is None else chain_steps(clause.path)
+            )
+            if steps is None:
+                self.closure_clause(clause, k, prev, cols)
+            else:
+                self.chain_clause(clause, k, prev, cols, steps)
+            self.columns[clause.alias] = k
+
+    def chain_clause(self, clause, k, prev, cols, steps) -> None:
+        name_steps = [_resolve_names(preds, self.vocab) for preds in steps]
+        if any(names is not None and not names for names in name_steps):
+            self.empty = f"clause {clause.alias!r} matches no label"
+        seed = self.seed_expr(clause.base, "b") if prev else str(
+            self.const_seed(clause.base)
+            if clause.base not in self.columns
+            else self._bad_first(clause)
+        )
+        tables = [f"{prev} AS b"] if prev else []
+        conds: list[str] = []
+        target = seed
+        for i, names in enumerate(name_steps):
+            alias = f"e{i}"
+            tables.append(f"oem_edge AS {alias}")
+            conds.append(f"{alias}.src = {target}")
+            if names is not None:
+                conds.append(_label_clause(f"{alias}.label", names))
+            target = f"{alias}.dst"
+        select = ", ".join([f"b.{c}" for c in cols[:-1]] + [target])
+        sql = f"  SELECT DISTINCT {select}\n  FROM {', '.join(tables)}"
+        if conds:
+            sql += "\n  WHERE " + "\n    AND ".join(conds)
+        if not tables:  # first clause, pure re-alias of a constant
+            sql = f"  SELECT {target}"
+        self.ctes.append(f"b{k}({', '.join(cols)}) AS (\n{sql}\n)")
+
+    def _bad_first(self, clause):  # pragma: no cover - parser orders aliases
+        raise NotCompilable("base", f"alias base in first clause {clause.base!r}")
+
+    def closure_clause(self, clause, k, prev, cols) -> None:
+        dfa, start, accepting = self.dfa_cte(clause.path)
+        pname = self.fresh("p")
+        if prev:
+            seed = self.seed_expr(clause.base, f"{prev}")
+            base_sql = f"SELECT DISTINCT {seed}, {seed}, {start} FROM {prev}"
+        else:
+            const = str(self.const_seed(clause.base))
+            base_sql = f"VALUES ({const}, {const}, {start})"
+        self.ctes.append(
+            f"{pname}(seed, node, state) AS (\n"
+            f"  {base_sql}\n"
+            "  UNION\n"
+            "  SELECT p.seed, e.dst, d.t\n"
+            f"  FROM {pname} AS p\n"
+            f"  JOIN {dfa} AS d ON d.s = p.state\n"
+            "  JOIN oem_edge AS e ON e.src = p.node AND e.label = d.lbl\n"
+            ")"
+        )
+        if not accepting:
+            self.empty = f"clause {clause.alias!r} accepts no path"
+        states = ", ".join(str(s) for s in accepting) or "NULL"
+        seed_col = (
+            self.seed_expr(clause.base, "b") if prev else "q.seed"
+        )
+        if prev:
+            sql = (
+                f"  SELECT DISTINCT {', '.join(f'b.{c}' for c in cols[:-1])}, q.node\n"
+                f"  FROM {prev} AS b\n"
+                f"  JOIN {pname} AS q ON q.seed = {seed_col}"
+                f" AND q.state IN ({states})"
+            )
+        else:
+            sql = (
+                "  SELECT DISTINCT q.node\n"
+                f"  FROM {pname} AS q\n"
+                f"  WHERE q.state IN ({states})"
+            )
+        self.ctes.append(f"b{k}({', '.join(cols)}) AS (\n{sql}\n)")
+
+    # -- where clause ---------------------------------------------------------
+
+    def operand_fragment(self, operand: PathOperand, *, atoms: bool):
+        """``(tables, conds, target)`` for a path operand inside EXISTS.
+
+        ``atoms=True`` additionally joins ``oem_atom`` and targets its
+        ``(kind, value)`` pair -- complex objects drop out of the join
+        exactly as the native ``_COMPLEX`` marker drops out of
+        comparisons.
+        """
+        seed = self.seed_expr(operand.base, "b")
+        tables: list[str] = []
+        conds: list[str] = []
+        if operand.path is None:
+            target = seed
+        else:
+            steps = chain_steps(operand.path)
+            if steps is None:
+                final = f"b{len(self.columns) - 1}"
+                if operand.base in self.columns:
+                    col = f"c{self.columns[operand.base]}"
+                    seeds_sql = f"SELECT DISTINCT {col} AS seed FROM {final}"
+                else:
+                    seeds_sql = f"SELECT {seed} AS seed"
+                wname = self.pair_cte(operand.path, seeds_sql)
+                walias = self.fresh("x")
+                tables.append(f"{wname} AS {walias}")
+                conds.append(f"{walias}.seed = {seed}")
+                target = f"{walias}.node"
+            else:
+                name_steps = [_resolve_names(p, self.vocab) for p in steps]
+                target = seed
+                for names in name_steps:
+                    if names is not None and not names:
+                        return None  # provably empty target set
+                    alias = self.fresh("x")
+                    tables.append(f"oem_edge AS {alias}")
+                    conds.append(f"{alias}.src = {target}")
+                    if names is not None:
+                        conds.append(_label_clause(f"{alias}.label", names))
+                    target = f"{alias}.dst"
+        if not atoms:
+            return tables, conds, target
+        aalias = self.fresh("x")
+        tables.append(f"oem_atom AS {aalias}")
+        conds.append(f"{aalias}.oid = {target}")
+        return tables, conds, f"{aalias}.kind, {aalias}.value"
+
+    def value_exprs(self, operand, *, frags):
+        """The ``kind, value`` SQL of an operand; literals bind params."""
+        if isinstance(operand, LiteralOperand):
+            kind, stored = _literal_pair(operand.value)
+            self.params.extend((kind, stored))
+            return "?, ?"
+        frag = self.operand_fragment(operand, atoms=True)
+        if frag is None:
+            return None
+        tables, conds, pair = frag
+        frags.append((tables, conds))
+        return pair
+
+    def exists_sql(self, frags, extra: "str | None" = None) -> str:
+        tables = [t for ts, _ in frags for t in ts]
+        conds = [c for _, cs in frags for c in cs]
+        if extra is not None:
+            conds.append(extra)
+        if not tables:
+            # both operands literal-or-direct with no joins: bare boolean
+            return f"({' AND '.join(conds)})" if conds else "1"
+        sql = f"EXISTS (SELECT 1 FROM {', '.join(tables)}"
+        if conds:
+            sql += f" WHERE {' AND '.join(conds)}"
+        return sql + ")"
+
+    def predicate_sql(self, predicate) -> str:
+        if isinstance(predicate, BoolOp):
+            op = "AND" if predicate.op == "and" else "OR"
+            return (
+                f"({self.predicate_sql(predicate.left)} {op} "
+                f"{self.predicate_sql(predicate.right)})"
+            )
+        if isinstance(predicate, NotOp):
+            return f"NOT {self.predicate_sql(predicate.inner)}"
+        if isinstance(predicate, ExistsPredicate):
+            frag = self.operand_fragment(predicate.operand, atoms=False)
+            if frag is None:
+                return "0"
+            tables, conds, _target = frag
+            if not tables:
+                return "1"  # a bound alias always exists
+            return self.exists_sql([(tables, conds)])
+        if isinstance(predicate, LikePredicate):
+            if isinstance(predicate.operand, LiteralOperand):
+                value = predicate.operand.value
+                return "1" if like_value(value, predicate.pattern) else "0"
+            mark = len(self.params)
+            frags: list = []
+            pair = self.value_exprs(predicate.operand, frags=frags)
+            if pair is None:
+                del self.params[mark:]  # drop params bound before the fold
+                return "0"
+            self.params.append(predicate.pattern)
+            return self.exists_sql(frags, f"lorel_like({pair}, ?)")
+        if isinstance(predicate, Compare):
+            left, op, right = predicate.left, predicate.op, predicate.right
+            if isinstance(left, LiteralOperand) and isinstance(
+                right, LiteralOperand
+            ):
+                return (
+                    "1" if compare_values(left.value, op, right.value) else "0"
+                )
+            mark = len(self.params)
+            frags = []
+            lpair = self.value_exprs(left, frags=frags)
+            rpair = self.value_exprs(right, frags=frags)
+            if lpair is None or rpair is None:
+                # a provably-empty operand folds the whole comparison to
+                # false; any literal params bound meanwhile must go too,
+                # or text and parameter list disagree
+                del self.params[mark:]
+                return "0"
+            cmp = f"lorel_cmp({lpair}, {_quote(op)}, {rpair})"
+            return self.exists_sql(frags, cmp)
+        raise NotCompilable("predicate", f"unknown predicate {predicate!r}")
+
+    # -- assembly -------------------------------------------------------------
+
+    def compile(self) -> CompiledQuery:
+        if not self.query.from_clauses:
+            raise NotCompilable("no-from", "query has no from clauses")
+        self.compile_clauses()
+        where_sql = None
+        if self.query.where is not None:
+            where_sql = self.predicate_sql(self.query.where)
+        aliases = list(self.columns)
+        info: dict = {"aliases": aliases, "clauses": len(aliases)}
+        if self.empty is not None:
+            info["empty"] = self.empty
+            return CompiledQuery("SELECT 0 AS c0 WHERE 0", (), "lorel", info)
+        cols = ", ".join(f"c{i}" for i in range(len(aliases)))
+        final = f"b{len(aliases) - 1}"
+        sql = "WITH RECURSIVE\n"
+        sql += ",\n".join(self.ctes + self.post_ctes)
+        sql += f"\nSELECT {cols} FROM {final} AS b"
+        if where_sql is not None:
+            sql += f"\nWHERE {where_sql}"
+        sql += f"\nORDER BY {cols}"
+        return CompiledQuery(sql, tuple(self.params), "lorel", info)
+
+
+def compile_lorel(
+    query: LorelQuery, db: "OemDatabase", db_name: str = "DB"
+) -> CompiledQuery:
+    """Compile a Lorel query's from/where core to one SQL statement.
+
+    Executing it yields the binding environments as rows (one column
+    per alias, in clause order, sorted lexicographically -- the native
+    enumeration order); pass them to
+    :func:`repro.lorel.construct_answer` for the answer database.
+    """
+    return _LorelCompiler(query, db, db_name).compile()

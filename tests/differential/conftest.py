@@ -1,0 +1,22 @@
+"""Hypothesis profiles for the differential suite.
+
+The suite's value scales with case count, so CI runs a fixed, larger
+profile (``HYPOTHESIS_PROFILE=ci``: 200 examples per engine pair, no
+deadline -- sqlite warm-up is noisy) while local runs stay quick.  The
+profile is selected by environment variable so a developer can
+reproduce the CI workload exactly with one export.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

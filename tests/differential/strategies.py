@@ -1,0 +1,163 @@
+"""Generators for the differential harness: databases and queries.
+
+Everything here is deliberately small and gnarly: graphs with cycles
+and shared subobjects, OEM trees with heterogeneous records and
+duplicate labels, and query strings drawn from the grammars' awkward
+corners (globs, wildcards, alternation under closure, comparisons that
+mix types).  The differential tests only need *agreement* between the
+two engines, so the strategies push for shapes where they could
+plausibly disagree -- empty answers, unreachable labels, int/real/bool
+atoms that collide under sqlite's affinity rules.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph
+from repro.core.oem import OemDatabase
+
+#: The edge vocabulary of generated graphs.  Small on purpose: cycles,
+#: label collisions, and empty answers all need repeated labels.
+GRAPH_LABELS = ("a", "b", "c", "ab")
+
+#: Record labels of generated OEM databases.  ``A``/``AB`` overlap under
+#: the ``A%`` glob; ``v`` marks the atoms comparisons aim at.
+OEM_LABELS = ("A", "B", "AB", "v")
+
+#: Atom pool: values whose sqlite storage classes collide (1 vs 1.0 vs
+#: True) plus strings that LIKE patterns partially match.
+ATOMS = (0, 1, 2, 1.0, 2.5, True, False, "x", "xy", "y", "Ab", "")
+
+
+@st.composite
+def graphs(draw):
+    """A small rooted graph: random edges over a fixed vocabulary.
+
+    Self-loops, cycles, diamonds, and unreachable nodes all occur; every
+    edge label is drawn from :data:`GRAPH_LABELS`.
+    """
+    n = draw(st.integers(2, 7))
+    g = Graph()
+    nodes = [g.new_node() for _ in range(n)]
+    g.set_root(nodes[0])
+    for _ in range(draw(st.integers(1, 14))):
+        g.add_edge(
+            draw(st.sampled_from(nodes)),
+            draw(st.sampled_from(GRAPH_LABELS)),
+            draw(st.sampled_from(nodes)),
+        )
+    return g
+
+
+_PATTERN_ATOMS = st.sampled_from(
+    ["a", "b", "c", "ab", "#", "!a", "a%", "%b", "(a|b)", "(a|c|ab)"]
+)
+
+
+@st.composite
+def _pattern_node(draw, inner):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return f"{draw(inner)}.{draw(inner)}"
+    if kind == 1:
+        return f"({draw(inner)}|{draw(inner)})"
+    suffix = "*+?"[kind - 2]
+    return f"({draw(inner)}){suffix}"
+
+
+def rpq_patterns():
+    """Path-regex texts: concatenation, alternation, closures, globs."""
+    return st.recursive(_PATTERN_ATOMS, lambda inner: _pattern_node(inner), max_leaves=5)
+
+
+@st.composite
+def oem_values(draw, depth):
+    """One OEM value: an atom, or a record over :data:`OEM_LABELS`."""
+    if depth <= 0 or draw(st.booleans()):
+        return draw(st.sampled_from(ATOMS))
+    keys = draw(
+        st.lists(st.sampled_from(OEM_LABELS), min_size=1, max_size=3, unique=True)
+    )
+    out = {}
+    for key in keys:
+        if draw(st.booleans()):
+            out[key] = draw(
+                st.lists(oem_values(depth - 1), min_size=1, max_size=2)
+            )
+        else:
+            out[key] = draw(oem_values(depth - 1))
+    return out
+
+
+@st.composite
+def oem_databases(draw):
+    """An OEM database whose root holds 1-4 heterogeneous records."""
+    entries = draw(st.lists(oem_values(2), min_size=1, max_size=4))
+    return OemDatabase.from_obj({"A": entries, "B": draw(oem_values(1))})
+
+
+_LOREL_STEPS = st.sampled_from(["A", "B", "AB", "v", "#", "A%", "(A|B)"])
+_LOREL_LITERALS = st.sampled_from(['"x"', '"Ab"', "1", "2.5", "0", '""'])
+_CMP_OPS = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def _lorel_path(draw, max_steps=2):
+    steps = draw(st.lists(_LOREL_STEPS, min_size=1, max_size=max_steps))
+    return ".".join(steps)
+
+
+@st.composite
+def _lorel_predicate(draw, aliases, depth=1):
+    kind = draw(st.integers(0, 5 if depth > 0 else 3))
+    alias = draw(st.sampled_from(aliases))
+    operand = f"{alias}.{draw(_lorel_path())}"
+    if kind == 0:
+        return f"{operand} {draw(_CMP_OPS)} {draw(_LOREL_LITERALS)}"
+    if kind == 1:
+        return f"exists {operand}"
+    if kind == 2:
+        like_pat = draw(st.sampled_from(['"x%"', '"%b%"', '"A_"']))
+        return f"{operand} like {like_pat}"
+    if kind == 3:
+        other = f"{draw(st.sampled_from(aliases))}.{draw(_lorel_path(1))}"
+        return f"{operand} = {other}"
+    left = draw(_lorel_predicate(aliases, depth - 1))
+    right = draw(_lorel_predicate(aliases, depth - 1))
+    if kind == 4:
+        return f"{left} and {right}"
+    return f"not ({right})"
+
+
+@st.composite
+def lorel_queries(draw):
+    """Lorel texts over the generated OEM shape: 1-2 clauses, maybe where."""
+    first_path = draw(_lorel_path())
+    clauses = [f"DB.{first_path} m"]
+    aliases = ["m"]
+    if draw(st.booleans()):
+        base = draw(st.sampled_from(["DB", "m"]))
+        clauses.append(f"{base}.{draw(_lorel_path())} n")
+        aliases.append("n")
+    items = ", ".join(
+        f"{a}.{draw(_lorel_path(1))}"
+        for a in draw(st.lists(st.sampled_from(aliases), min_size=1, max_size=2))
+    )
+    text = f"select {items} from {', '.join(clauses)}"
+    if draw(st.booleans()):
+        text += f" where {draw(_lorel_predicate(aliases))}"
+    return text
+
+
+_UNQL_PATHS = st.sampled_from(
+    ["a", "b", "ab", "a.b", "a.(b|c)", "(a|b).c", "a.b.c", "c.a"]
+)
+
+
+@st.composite
+def unql_queries(draw):
+    """UnQL texts whose root members exercise the SQL rewrite path."""
+    path1 = draw(_UNQL_PATHS)
+    if draw(st.booleans()):
+        return rf"select \t where {{{path1}: \t}} in db"
+    path2 = draw(_UNQL_PATHS)
+    return rf"select {{hit: \t, also: \u}} where {{{path1}: \t, {path2}: \u}} in db"

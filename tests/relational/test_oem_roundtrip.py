@@ -1,0 +1,121 @@
+"""Round-trip properties of the OEM shredding (satellite of E16).
+
+:func:`~repro.relational.encode.oem_to_relations` is the encoding the
+SQL backend loads into sqlite, so its round-trip has to be *identity*,
+not isomorphism: same oids, same child order (including duplicate
+``(label, child)`` pairs), same atom types, same names -- on cyclic
+databases and shared subobjects, which ``from_obj`` alone cannot build.
+The dump of the relations must also be byte-stable: deterministic row
+ordering is what makes the pinned ``.sql`` goldens and the corpus
+meaningful.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oem import OemDatabase
+from repro.relational.encode import (
+    dump_relations,
+    oem_to_relations,
+    relations_to_oem,
+)
+
+ATOMS = st.sampled_from([0, 1, 2, -3, 1.0, 2.5, True, False, "x", "ab'c", ""])
+
+
+@st.composite
+def oem_databases(draw):
+    """Arbitrary OEM shapes: cycles, sharing, duplicate edges, names.
+
+    Built directly on the mutation API so back-edges and multi-parent
+    children occur; ``from_obj`` only makes trees.
+    """
+    db = OemDatabase()
+    root = db.new_complex()
+    oids = [root]
+    for _ in range(draw(st.integers(0, 5))):
+        if draw(st.booleans()):
+            oids.append(db.new_atomic(draw(ATOMS)))
+        else:
+            oids.append(db.new_complex())
+    complex_oids = [o for o in oids if db.get(o).is_complex]
+    for _ in range(draw(st.integers(0, 10))):
+        db.add_child(
+            draw(st.sampled_from(complex_oids)),
+            draw(st.sampled_from(["A", "B", "b b", "'"])),
+            draw(st.sampled_from(oids)),
+        )
+    db.set_name("DB", root)
+    if len(oids) > 1 and draw(st.booleans()):
+        db.set_name("Other", draw(st.sampled_from(oids)))
+    return db
+
+
+def _image(db):
+    """Everything round-trip identity must preserve, as plain data."""
+    return (
+        {
+            oid: (
+                ("atom", type(db.get(oid).atom).__name__, db.get(oid).atom)
+                if db.get(oid).is_atomic
+                else ("complex", tuple(db.get(oid).children))
+            )
+            for oid in db.oids()
+        },
+        dict(db.names),
+    )
+
+
+@given(oem_databases())
+def test_round_trip_identity(db):
+    assert _image(relations_to_oem(oem_to_relations(db))) == _image(db)
+
+
+@given(oem_databases())
+def test_encoding_deterministic(db):
+    """Two encodes of one database dump to identical bytes."""
+    assert dump_relations(oem_to_relations(db)) == dump_relations(
+        oem_to_relations(db)
+    )
+
+
+@given(oem_databases())
+@settings(max_examples=25)
+def test_round_trip_twice_is_stable(db):
+    """Encode(decode(encode(db))) == encode(db): the image is a fixpoint."""
+    once = oem_to_relations(db)
+    again = oem_to_relations(relations_to_oem(once))
+    assert dump_relations(again) == dump_relations(once)
+
+
+def test_cycle_and_sharing_by_hand():
+    """The two shapes the docstring promises, spelled out."""
+    db = OemDatabase()
+    root = db.new_complex()
+    shared = db.new_atomic("s")
+    loop = db.new_complex()
+    db.add_child(root, "A", shared)
+    db.add_child(root, "B", shared)  # shared subobject
+    db.add_child(root, "C", loop)
+    db.add_child(loop, "back", root)  # cycle
+    db.add_child(root, "A", shared)  # duplicate (label, child) pair
+    db.set_name("DB", root)
+    back = relations_to_oem(oem_to_relations(db))
+    assert _image(back) == _image(db)
+    assert list(back.get(root).children) == [
+        ("A", shared),
+        ("B", shared),
+        ("C", loop),
+        ("A", shared),
+    ]
+
+
+def test_empty_complex_object_survives():
+    """A childless complex object must not come back atomic."""
+    db = OemDatabase()
+    root = db.new_complex()
+    empty = db.new_complex()
+    db.add_child(root, "E", empty)
+    db.set_name("DB", root)
+    back = relations_to_oem(oem_to_relations(db))
+    assert back.get(empty).is_complex

@@ -1,0 +1,24 @@
+-- case: lorel-closure-clause
+-- dataset: web40
+-- query: select x.title from DB.(link)* x
+-- kind: lorel
+-- params: ()
+WITH RECURSIVE
+d1(s, lbl, t) AS (
+  VALUES (0, 'link', 2), (2, 'link', 2)
+),
+p2(seed, node, state) AS (
+  VALUES (1, 1, 0)
+  UNION
+  SELECT p.seed, e.dst, d.t
+  FROM p2 AS p
+  JOIN d1 AS d ON d.s = p.state
+  JOIN oem_edge AS e ON e.src = p.node AND e.label = d.lbl
+),
+b0(c0) AS (
+  SELECT DISTINCT q.node
+  FROM p2 AS q
+  WHERE q.state IN (0, 2)
+)
+SELECT c0 FROM b0 AS b
+ORDER BY c0

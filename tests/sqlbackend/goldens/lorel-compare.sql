@@ -1,0 +1,17 @@
+-- case: lorel-compare
+-- dataset: movies30
+-- query: select m.Title from DB.Entry.Movie m where m.Year < 1960
+-- kind: lorel
+-- params: ('int', 1960)
+WITH RECURSIVE
+b0(c0) AS (
+  SELECT DISTINCT e1.dst
+  FROM oem_edge AS e0, oem_edge AS e1
+  WHERE e0.src = 1
+    AND e0.label = 'Entry'
+    AND e1.src = e0.dst
+    AND e1.label = 'Movie'
+)
+SELECT c0 FROM b0 AS b
+WHERE EXISTS (SELECT 1 FROM oem_edge AS x1, oem_atom AS x2 WHERE x1.src = b.c0 AND x1.label = 'Year' AND x2.oid = x1.dst AND lorel_cmp(x2.kind, x2.value, '<', ?, ?))
+ORDER BY c0

@@ -1,0 +1,17 @@
+-- case: lorel-exists-like
+-- dataset: figure1
+-- query: select m.Title from DB.Entry.Movie m where exists m.Cast and m.Title like "Casa%"
+-- kind: lorel
+-- params: ('Casa%',)
+WITH RECURSIVE
+b0(c0) AS (
+  SELECT DISTINCT e1.dst
+  FROM oem_edge AS e0, oem_edge AS e1
+  WHERE e0.src = 1
+    AND e0.label = 'Entry'
+    AND e1.src = e0.dst
+    AND e1.label = 'Movie'
+)
+SELECT c0 FROM b0 AS b
+WHERE (EXISTS (SELECT 1 FROM oem_edge AS x1 WHERE x1.src = b.c0 AND x1.label = 'Cast') AND EXISTS (SELECT 1 FROM oem_edge AS x2, oem_atom AS x3 WHERE x2.src = b.c0 AND x2.label = 'Title' AND x3.oid = x2.dst AND lorel_like(x3.kind, x3.value, ?)))
+ORDER BY c0

@@ -1,0 +1,16 @@
+-- case: lorel-plain
+-- dataset: figure1
+-- query: select m.Title from DB.Entry.Movie m
+-- kind: lorel
+-- params: ()
+WITH RECURSIVE
+b0(c0) AS (
+  SELECT DISTINCT e1.dst
+  FROM oem_edge AS e0, oem_edge AS e1
+  WHERE e0.src = 1
+    AND e0.label = 'Entry'
+    AND e1.src = e0.dst
+    AND e1.label = 'Movie'
+)
+SELECT c0 FROM b0 AS b
+ORDER BY c0

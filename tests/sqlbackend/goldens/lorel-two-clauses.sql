@@ -1,0 +1,22 @@
+-- case: lorel-two-clauses
+-- dataset: movies30
+-- query: select m.Title, c.Actors from DB.Entry.Movie m, m.Cast c
+-- kind: lorel
+-- params: ()
+WITH RECURSIVE
+b0(c0) AS (
+  SELECT DISTINCT e1.dst
+  FROM oem_edge AS e0, oem_edge AS e1
+  WHERE e0.src = 1
+    AND e0.label = 'Entry'
+    AND e1.src = e0.dst
+    AND e1.label = 'Movie'
+),
+b1(c0, c1) AS (
+  SELECT DISTINCT b.c0, e0.dst
+  FROM b0 AS b, oem_edge AS e0
+  WHERE e0.src = b.c0
+    AND e0.label = 'Cast'
+)
+SELECT c0, c1 FROM b1 AS b
+ORDER BY c0, c1

@@ -1,0 +1,62 @@
+-- case: rpq-automaton-negation
+-- dataset: figure1
+-- query: Entry.Movie.(!Movie)*
+-- kind: automaton
+-- params: ()
+WITH RECURSIVE
+dfa(s, lid, t) AS (
+  VALUES
+    (0, 0, 1),
+    (1, 1, 3),
+    (3, 0, 4),
+    (3, 2, 4),
+    (3, 3, 4),
+    (3, 4, 4),
+    (3, 5, 4),
+    (3, 6, 4),
+    (3, 7, 4),
+    (3, 8, 4),
+    (3, 9, 4),
+    (3, 10, 4),
+    (3, 11, 4),
+    (3, 12, 4),
+    (3, 13, 4),
+    (3, 14, 4),
+    (3, 15, 4),
+    (3, 16, 4),
+    (3, 17, 4),
+    (3, 18, 4),
+    (3, 19, 4),
+    (3, 20, 4),
+    (4, 0, 4),
+    (4, 2, 4),
+    (4, 3, 4),
+    (4, 4, 4),
+    (4, 5, 4),
+    (4, 6, 4),
+    (4, 7, 4),
+    (4, 8, 4),
+    (4, 9, 4),
+    (4, 10, 4),
+    (4, 11, 4),
+    (4, 12, 4),
+    (4, 13, 4),
+    (4, 14, 4),
+    (4, 15, 4),
+    (4, 16, 4),
+    (4, 17, 4),
+    (4, 18, 4),
+    (4, 19, 4),
+    (4, 20, 4)
+),
+reach(node, state) AS (
+  SELECT 0, 0
+  UNION
+  SELECT e.dst, d.t
+  FROM reach AS r
+  JOIN dfa AS d ON d.s = r.state
+  JOIN edge AS e ON e.src = r.node AND e.lid = d.lid
+)
+SELECT DISTINCT node FROM reach
+WHERE state IN (3, 4)
+ORDER BY node

@@ -1,0 +1,24 @@
+-- case: rpq-automaton-star
+-- dataset: web40
+-- query: link*.title
+-- kind: automaton
+-- params: ()
+WITH RECURSIVE
+dfa(s, lid, t) AS (
+  VALUES
+    (0, 1, 2),
+    (0, 3, 3),
+    (3, 1, 2),
+    (3, 3, 3)
+),
+reach(node, state) AS (
+  SELECT 0, 0
+  UNION
+  SELECT e.dst, d.t
+  FROM reach AS r
+  JOIN dfa AS d ON d.s = r.state
+  JOIN edge AS e ON e.src = r.node AND e.lid = d.lid
+)
+SELECT DISTINCT node FROM reach
+WHERE state = 2
+ORDER BY node

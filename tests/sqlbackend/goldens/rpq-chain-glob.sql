@@ -1,0 +1,16 @@
+-- case: rpq-chain-glob
+-- dataset: figure1
+-- query: Entry.%.Title
+-- kind: chain
+-- params: ()
+SELECT DISTINCT e2.dst AS node
+FROM edge AS e0
+CROSS JOIN edge AS e1
+CROSS JOIN edge AS e2
+WHERE e0.src = 0
+  AND e0.lid = 0
+  AND e1.lid IN (0, 1, 2, 3, 4, 5, 9, 11, 12, 15, 16, 17)
+  AND e1.src = e0.dst
+  AND e2.lid = 2
+  AND e2.src = e1.dst
+ORDER BY node
