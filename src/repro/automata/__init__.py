@@ -13,8 +13,13 @@ from .dfa import LazyDfa
 from .nfa import Nfa, build_nfa
 from .plan_cache import DEFAULT_PLAN_CACHE, PLAN_METRICS, PlanCache, cached_compile
 from .product import (
+    DensePlan,
+    PlanTooLarge,
+    compile_dense,
     compile_rpq,
     naive_rpq,
+    ordered_edge_indices,
+    product_bfs,
     rpq_nodes,
     rpq_nodes_many,
     rpq_nodes_partial,
@@ -62,6 +67,11 @@ __all__ = [
     "build_nfa",
     "LazyDfa",
     "compile_rpq",
+    "compile_dense",
+    "DensePlan",
+    "PlanTooLarge",
+    "product_bfs",
+    "ordered_edge_indices",
     "rpq_nodes",
     "rpq_nodes_many",
     "rpq_nodes_partial",

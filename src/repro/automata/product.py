@@ -23,11 +23,22 @@ results -- and, via :meth:`LazyDfa.ensure_dead_state`, the profiled
 :func:`rpq_nodes_many` batches many source nodes into one tagged product
 BFS so the per-query setup (plan resolution, transition cache, live-label
 cache) is paid once per pattern instead of once per source.
+
+The module also exports the small *kernel API* other runtimes build on:
+:func:`product_bfs` (the shared BFS core), :func:`ordered_edge_indices`
+(label-pruned, insertion-ordered edge scans), and :func:`compile_dense` /
+:class:`DensePlan` (a finite DFA materialized over a snapshot's interned
+alphabet, picklable and deterministic, for worker processes that cannot
+share a :class:`LazyDfa`'s visitation-order-dependent state numbering).
+Both the simulated distributed runtime (:mod:`repro.distributed.decompose`)
+and the parallel one (:mod:`repro.distributed.parallel`) consume it.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
+from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import TYPE_CHECKING, Iterable
 
@@ -52,6 +63,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "compile_rpq",
+    "compile_dense",
+    "DensePlan",
+    "PlanTooLarge",
+    "product_bfs",
+    "ordered_edge_indices",
     "rpq_nodes",
     "rpq_nodes_many",
     "rpq_nodes_partial",
@@ -134,10 +150,10 @@ def rpq_nodes(
     """
     dfa = compile_rpq(pattern, plan_cache=plan_cache)
     origin = graph.root if start is None else start
-    return _product_bfs(graph, dfa, origin, guide_mask)[0]
+    return product_bfs(graph, dfa, origin, guide_mask)[0]
 
 
-def _product_bfs(
+def product_bfs(
     graph: "Graph | FrozenGraph",
     dfa: LazyDfa,
     origin: int,
@@ -226,7 +242,7 @@ def _live_label_ids(
     return ids
 
 
-def _ordered_edge_indices(
+def ordered_edge_indices(
     fg: FrozenGraph,
     dfa: LazyDfa,
     state: int,
@@ -264,6 +280,111 @@ def _ordered_edge_indices(
         merged.extend(bucket)
     merged.sort()
     return merged
+
+
+# -- dense plans (the picklable worker kernel) ----------------------------------
+
+
+class PlanTooLarge(ValueError):
+    """The pattern's DFA exceeds the dense-materialization bound.
+
+    Raised by :func:`compile_dense` when determinization over the
+    snapshot's alphabet discovers more states than ``max_states``.
+    Callers fall back to the lazy kernel; the bound exists because the
+    dense table is ``num_states x num_labels`` ints.
+    """
+
+
+@dataclass(frozen=True)
+class DensePlan:
+    """A DFA fully materialized over one snapshot's interned alphabet.
+
+    The lazy DFA numbers states in visitation order, so two processes
+    running the same pattern materialize *different* numberings -- fine
+    within one process, useless as a wire format.  A dense plan is the
+    canonical alternative: states are numbered by a deterministic BFS
+    from the start state expanding label ids in ascending order, the
+    transition function is one flat ``array('q')`` (``state * num_labels
+    + lid -> next state``, ``-1`` dead), and acceptance is one byte per
+    state.  The whole plan pickles in a few hundred bytes and every
+    attacher agrees on what state ``3`` means -- which is what lets
+    parallel workers exchange ``(node, state)`` configurations as plain
+    ints.
+
+    The flat table is also the fast path: a worker advancing a config
+    does ``trans[state * L + lid]`` -- one multiply-add and an array
+    index -- instead of a dict probe on a ``(state, label)`` tuple key.
+
+    Only labels the snapshot interns exist in the plan; an edge label
+    outside the alphabet cannot label any edge, so dropping it changes
+    no traversal.
+    """
+
+    num_states: int
+    num_labels: int
+    trans: array = field(repr=False)
+    accepting: bytes = field(repr=False)
+    start: int = 0
+
+    def step(self, state: int, lid: int) -> int:
+        """Next dense state on label id ``lid``, or ``-1`` (dead)."""
+        return self.trans[state * self.num_labels + lid]
+
+    def is_accepting(self, state: int) -> bool:
+        return self.accepting[state] == 1
+
+
+def compile_dense(
+    pattern: "str | PathRegex | Nfa | LazyDfa",
+    labels_seq,
+    *,
+    plan_cache: "PlanCache | None" = None,
+    max_states: int = 4096,
+) -> DensePlan:
+    """Materialize ``pattern`` as a :class:`DensePlan` over ``labels_seq``.
+
+    ``labels_seq`` is the snapshot's interned label sequence
+    (:attr:`~repro.core.frozen.FrozenGraph.labels_seq`); position *is*
+    the label id, exactly as in the CSR ``label_ids`` vector.  The
+    construction is a BFS over DFA states restricted to that alphabet --
+    deterministic regardless of how much of the lazy DFA was already
+    materialized -- and raises :class:`PlanTooLarge` past ``max_states``.
+    """
+    dfa = compile_rpq(pattern, plan_cache=plan_cache)
+    num_labels = len(labels_seq)
+    dense_of = {dfa.start: 0}
+    order = [dfa.start]
+    rows: list[list[int]] = []
+    cursor = 0
+    while cursor < len(order):
+        state = order[cursor]
+        cursor += 1
+        row = []
+        for lid in range(num_labels):
+            nxt = dfa.step(state, labels_seq[lid])
+            if dfa.is_dead(nxt):
+                row.append(-1)
+                continue
+            dense = dense_of.get(nxt)
+            if dense is None:
+                if len(order) >= max_states:
+                    raise PlanTooLarge(
+                        f"dense plan exceeds {max_states} states "
+                        f"over a {num_labels}-label alphabet"
+                    )
+                dense = len(order)
+                dense_of[nxt] = dense
+                order.append(nxt)
+            row.append(dense)
+        rows.append(row)
+    trans = array("q", [cell for row in rows for cell in row])
+    accepting = bytes(1 if dfa.is_accepting(s) else 0 for s in order)
+    return DensePlan(
+        num_states=len(order),
+        num_labels=num_labels,
+        trans=trans,
+        accepting=accepting,
+    )
 
 
 def _product_bfs_frozen(
@@ -383,11 +504,11 @@ def rpq_nodes_profiled(
         )
     if tracer is not None:
         with tracer.span("rpq", query=profile.query) as span:
-            results, seen = _product_bfs(graph, dfa, origin, guide_mask)
+            results, seen = product_bfs(graph, dfa, origin, guide_mask)
             _fill_product_counts(profile, graph, seen, states_before, dfa)
             span.annotate(results=len(results), product_pairs=len(seen))
     else:
-        results, seen = _product_bfs(graph, dfa, origin, guide_mask)
+        results, seen = product_bfs(graph, dfa, origin, guide_mask)
         _fill_product_counts(profile, graph, seen, states_before, dfa)
     if owns_profile:
         # when accumulating into a caller's profile (UnQL/Lorel), the
@@ -846,7 +967,7 @@ def _witness_search_frozen(
         config = queue.popleft()
         node, state = config
         pos = node if index is None else index[node]
-        for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache, guide_mask):
+        for i in ordered_edge_indices(fg, dfa, state, pos, live_cache, guide_mask):
             lid = label_ids[i]
             key = (state, lid)
             nxt_state = trans.get(key)

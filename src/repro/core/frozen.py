@@ -32,10 +32,13 @@ from __future__ import annotations
 from array import array
 from collections import deque
 from itertools import count
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .graph import Edge, Graph, GraphError
-from .labels import Label
+from .labels import Label, sym
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .shared import SharedGraphDescriptor, SharedSnapshot
 
 __all__ = ["FrozenGraph", "freeze"]
 
@@ -321,6 +324,119 @@ class FrozenGraph:
             )
             self._by_label[lid] = cached
         return cached
+
+    # -- construction without a Graph ------------------------------------------
+
+    @classmethod
+    def from_edge_stream(
+        cls,
+        num_nodes: int,
+        edges: "Iterable[tuple[int, Label | str, int]]",
+        *,
+        root: "int | None" = 0,
+    ) -> "FrozenGraph":
+        """Build a dense CSR snapshot straight from an edge stream.
+
+        ``edges`` yields ``(src, label, dst)`` triples **grouped by
+        source in non-decreasing order** (the CSR invariant); node ids
+        are the dense range ``0..num_nodes-1``.  A plain-``str`` label is
+        a symbol, matching :meth:`Graph.add_edge`.  This is the
+        constant-memory ingestion path for generated graphs too large to
+        stage as a dict-of-``Edge``-lists :class:`Graph` first -- nothing
+        beyond the CSR vectors themselves is ever materialized.
+        """
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if root is not None and not 0 <= root < num_nodes:
+            raise GraphError(f"root {root} outside the dense node range")
+        offsets = array("q", [0])
+        srcs = array("q")
+        targets = array("q")
+        label_ids = array("q")
+        labels_seq: list[Label] = []
+        label_index: dict[Label, int] = {}
+        partitions: list[dict[int, array]] = []
+        cursor = 0  # the node whose edge block is open
+        edge_i = 0
+        part: dict[int, array] = {}
+        for src, label, dst in edges:
+            if src < cursor:
+                raise GraphError(
+                    f"edge stream not grouped by source: {src} after {cursor}"
+                )
+            if not 0 <= src < num_nodes or not 0 <= dst < num_nodes:
+                raise GraphError(f"edge ({src}, {dst}) outside the dense node range")
+            while cursor < src:  # close empty blocks up to src
+                partitions.append(part)
+                part = {}
+                offsets.append(edge_i)
+                cursor += 1
+            if isinstance(label, str):
+                label = sym(label)
+            lid = label_index.get(label)
+            if lid is None:
+                lid = label_index[label] = len(labels_seq)
+                labels_seq.append(label)
+            srcs.append(src)
+            targets.append(dst)
+            label_ids.append(lid)
+            bucket = part.get(lid)
+            if bucket is None:
+                bucket = part[lid] = array("q")
+            bucket.append(edge_i)
+            edge_i += 1
+        while cursor < num_nodes:
+            partitions.append(part)
+            part = {}
+            offsets.append(edge_i)
+            cursor += 1
+        fg = object.__new__(cls)
+        fg.node_ids = range(num_nodes)  # dense: O(1) memory, list-like reads
+        fg.index = None
+        fg.offsets = offsets
+        fg.srcs = srcs
+        fg.targets = targets
+        fg.label_ids = label_ids
+        fg.labels_seq = labels_seq
+        fg.label_index = label_index
+        fg.partitions = partitions
+        fg._root = root
+        fg.snapshot_id = next(_SNAPSHOT_IDS)
+        fg.source_version = 0
+        fg._edge_cache = {}
+        fg._by_label = None
+        fg._reachable_from_root = None
+        fg._ext = {}
+        return fg
+
+    # -- shared-memory snapshots ------------------------------------------------
+
+    def to_shared(self) -> "SharedSnapshot":
+        """Pack this snapshot into a named shared-memory segment.
+
+        Returns the owning :class:`~repro.core.shared.SharedSnapshot`;
+        its picklable ``descriptor`` is what travels to worker processes
+        (:meth:`from_shared`).  The caller owns the segment lifecycle:
+        ``close()`` *and* ``unlink()`` when done, or use the snapshot as
+        a context manager.  See :mod:`repro.core.shared`.
+        """
+        from .shared import pack
+
+        return pack(self)
+
+    @classmethod
+    def from_shared(cls, descriptor: "SharedGraphDescriptor") -> "FrozenGraph":
+        """Reattach a packed snapshot, zero-copy, in this process.
+
+        The returned graph's vectors are memoryviews into the shared
+        segment -- no adjacency is copied.  The underlying
+        :class:`~repro.core.shared.SharedSnapshot` handle rides in
+        ``graph._ext["shared"]``; call its ``close()`` when done (workers
+        never ``unlink`` -- that is the packing process's duty).
+        """
+        from .shared import attach
+
+        return attach(descriptor).graph
 
     # -- misc -----------------------------------------------------------------
 

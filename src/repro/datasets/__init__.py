@@ -3,13 +3,15 @@
 from .acedb import acedb_schema, generate_acedb
 from .movies import ACTOR_POOL, figure1, generate_movies
 from .relational_data import generate_catalog, random_algebra_term
-from .webgraph import generate_web
+from .webgraph import generate_crawl, generate_web, stream_crawl_edges
 
 __all__ = [
     "figure1",
     "generate_movies",
     "ACTOR_POOL",
     "generate_web",
+    "generate_crawl",
+    "stream_crawl_edges",
     "generate_acedb",
     "acedb_schema",
     "generate_catalog",

@@ -13,16 +13,27 @@ equivalent (the substitution DESIGN.md records): a site of pages with
 
 Deterministic in ``seed``; used by experiments E2 (regular path queries),
 E3 (restructuring) and E5 (distributed decomposition).
+
+For the multi-million-edge scale experiment E17 needs, :func:`generate_web`
+(which stages a dict-of-lists :class:`Graph`) is the wrong tool; use
+:func:`stream_crawl_edges` / :func:`generate_crawl` instead.  They model a
+scale-free crawl -- power-law out-degree, host-locality clustering,
+hub-skewed cross-host references -- as a seeded, source-ordered edge
+stream in constant memory, feeding
+:meth:`~repro.core.frozen.FrozenGraph.from_edge_stream` directly so no
+intermediate graph object is ever built.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
+from ..core.frozen import FrozenGraph
 from ..core.graph import Graph
 from ..core.labels import string
 
-__all__ = ["generate_web"]
+__all__ = ["generate_web", "stream_crawl_edges", "generate_crawl"]
 
 _WORDS = [
     "home", "research", "database", "semistructured", "query", "papers",
@@ -72,3 +83,120 @@ def generate_web(
         dst = rng.choice(pages)
         g.add_edge(src, "link", dst)
     return g
+
+
+# -- streaming scale-free crawls (experiment E17) -------------------------------
+
+
+def _host_sizes(num_pages: int, seed: int, mean_host: int) -> Iterator[int]:
+    """The deterministic host-size stream (re-runnable, so never stored).
+
+    Pareto-distributed with a floor of 1 page and a ceiling of eight
+    mean hosts -- a few big portals, many small sites -- clipped so the
+    sizes always sum to exactly ``num_pages``.
+    """
+    rng = random.Random(f"{seed}-hosts")
+    remaining = num_pages
+    cap = max(1, 8 * mean_host)
+    while remaining > 0:
+        size = min(remaining, cap, max(1, int(rng.paretovariate(1.7) * mean_host * 0.4)))
+        yield size
+        remaining -= size
+
+
+def stream_crawl_edges(
+    num_pages: int,
+    *,
+    seed: int = 0,
+    mean_host: int = 50,
+    mean_extra_degree: float = 2.0,
+    local_fraction: float = 0.85,
+) -> Iterator[tuple[int, str, int]]:
+    """A seeded, constant-memory stream of crawl edges, grouped by source.
+
+    Pages ``0..num_pages-1`` are laid out as contiguous *host* blocks
+    (sizes Pareto-distributed around ``mean_host``).  The structure, in
+    source order:
+
+    * page 0 (the crawl seed, a directory hub) links to every host's
+      entry page, and each host is internally chained -- so every page
+      is reachable from the root by construction, whatever the random
+      edges do;
+    * each page adds a power-law number of extra out-edges
+      (Pareto-distributed, mean ``mean_extra_degree``); each is local to
+      the host with probability ``local_fraction`` (label ``link``), and
+      otherwise points cross-host with a hub bias toward low page ids
+      (label ``ref``, or ``cite`` for one cross edge in eight) --
+      back-edges included, so the graph is cyclic like the web it
+      imitates.
+
+    Total edge count is about ``(1 + mean_extra_degree) * num_pages``.
+    The stream is reproducible for a given parameter set and holds O(1)
+    state (two RNGs plus the current host bounds), which is what lets
+    E17 build multi-million-edge snapshots without a graph object.
+    """
+    if num_pages < 1:
+        raise ValueError("need at least one page")
+    if not 0.0 <= local_fraction <= 1.0:
+        raise ValueError("local_fraction must be a probability")
+    rng = random.Random(f"{seed}-edges")
+    # pass 1 (src = 0): the hub's link to every host entry
+    first_host = next(_host_sizes(num_pages, seed, mean_host))
+    for start_page in _host_starts(num_pages, seed, mean_host):
+        if start_page != 0:
+            yield 0, "link", start_page
+    # main sweep: per page, the intra-host chain edge plus extra edges
+    host_start, host_end = 0, first_host
+    sizes = _host_sizes(num_pages, seed, mean_host)
+    next(sizes)  # the first host is already framed
+    # power-law out-degree: pareto shape 2 has mean 2, scaled to target
+    degree_scale = mean_extra_degree / 2.0
+    for page in range(num_pages):
+        if page >= host_end:
+            host_start, host_end = host_end, host_end + next(sizes)
+        if page + 1 < host_end:
+            yield page, "link", page + 1
+        extra = int(rng.paretovariate(2.0) * degree_scale)
+        for _ in range(extra):
+            if rng.random() < local_fraction and host_end - host_start > 1:
+                dst = rng.randrange(host_start, host_end)
+                yield page, "link", dst
+            else:
+                # hub bias: squaring the uniform skews toward low ids,
+                # giving the old/popular pages power-law in-degree
+                dst = int(num_pages * rng.random() ** 2.5)
+                label = "cite" if rng.random() < 0.125 else "ref"
+                yield page, label, dst
+
+
+def _host_starts(num_pages: int, seed: int, mean_host: int) -> Iterator[int]:
+    start = 0
+    for size in _host_sizes(num_pages, seed, mean_host):
+        yield start
+        start += size
+
+
+def generate_crawl(
+    num_pages: int,
+    *,
+    seed: int = 0,
+    mean_host: int = 50,
+    mean_extra_degree: float = 2.0,
+    local_fraction: float = 0.85,
+) -> FrozenGraph:
+    """The crawl stream frozen straight into a dense CSR snapshot.
+
+    Equivalent to loading :func:`stream_crawl_edges` into a
+    :class:`~repro.core.graph.Graph` and freezing it (the datasets tests
+    assert exactly that), but peak memory is the CSR vectors themselves.
+    """
+    return FrozenGraph.from_edge_stream(
+        num_pages,
+        stream_crawl_edges(
+            num_pages,
+            seed=seed,
+            mean_host=mean_host,
+            mean_extra_degree=mean_extra_degree,
+            local_fraction=local_fraction,
+        ),
+    )

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..automata.dfa import LazyDfa
-from ..automata.product import _ordered_edge_indices, _product_bfs, compile_rpq
+from ..automata.product import compile_rpq, ordered_edge_indices, product_bfs
 from ..obs import QueryProfile
 from ..resilience import (
     CircuitBreaker,
@@ -128,7 +128,7 @@ def distributed_rpq(
                 node, state = queue.pop()
                 round_work[site] += 1
                 pos = node if index is None else index[node]
-                for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+                for i in ordered_edge_indices(fg, dfa, state, pos, live_cache):
                     lid = label_ids[i]
                     key = (state, lid)
                     nxt_state = trans.get(key)
@@ -178,7 +178,7 @@ def distributed_rpq_profiled(
     )
     # re-derive the explored configs the same way the centralized
     # profiled entry point does (the BSP schedule explores the same set)
-    _, seen = _product_bfs(graph, dfa, graph.root)
+    _, seen = product_bfs(graph, dfa, graph.root)
     visited = {config[0] for config in seen}
     profile.product_pairs = len(seen)
     profile.nodes_visited = len(visited)
@@ -201,11 +201,17 @@ class SiteRuntime:
     breaker, so a permanently-dead site is contacted at most
     ``failure_threshold`` times before every later delivery fails fast
     without touching the network -- the documented trip bound.
+
+    ``dist`` may be a :class:`~repro.distributed.sites.DistributedGraph`
+    or a bare site count: the runtime only needs to know how many
+    breakers to build, which is what lets the parallel runtime (whose
+    partition lives in a flat position table, not a
+    ``DistributedGraph``) reuse the same guarded-delivery protocol.
     """
 
     def __init__(
         self,
-        dist: DistributedGraph,
+        dist: "DistributedGraph | int",
         *,
         injector: "FaultInjector | None" = None,
         policy: "RetryPolicy | None" = None,
@@ -214,7 +220,8 @@ class SiteRuntime:
         clock: "Clock | None" = None,
         events: "EventLog | None" = None,
     ) -> None:
-        self.dist = dist
+        self.dist = None if isinstance(dist, int) else dist
+        self.num_sites = dist if isinstance(dist, int) else dist.num_sites
         self.injector = injector
         self.policy = policy if policy is not None else RetryPolicy(
             max_attempts=3, base_delay=0.01
@@ -231,7 +238,7 @@ class SiteRuntime:
                 key=f"site:{site}",
                 events=self.events,
             )
-            for site in range(dist.num_sites)
+            for site in range(self.num_sites)
         ]
         self.retries = 0
         self.deliveries = 0
@@ -363,7 +370,7 @@ def distributed_rpq_resilient(
                 node, state = queue.pop()
                 round_work[site] += 1
                 pos = node if index is None else index[node]
-                for i in _ordered_edge_indices(fg, dfa, state, pos, live_cache):
+                for i in ordered_edge_indices(fg, dfa, state, pos, live_cache):
                     lid = label_ids[i]
                     key = (state, lid)
                     nxt_state = trans.get(key)

@@ -14,6 +14,11 @@ sub-queries start.  Two partitioning strategies are provided:
   locality (many cross edges), the worst case for decomposition;
 * ``bfs``   -- contiguous BFS blocks: the locality a real web-site
   segmentation would have, few cross edges.
+
+The richer strategies of :mod:`~repro.distributed.partition` (``label``,
+``greedy``) are also accepted by name; they partition the frozen snapshot
+and translate positions back to node ids, so the simulated runtime can be
+driven by the same assignments the parallel runtime measures.
 """
 
 from __future__ import annotations
@@ -148,5 +153,18 @@ def partition_graph(
         for i, node in enumerate(order):
             site_of[node] = min(i // block, num_sites - 1)
     else:
-        raise ValueError(f"unknown partition strategy {strategy!r}")
+        from .partition import PARTITION_STRATEGIES, build_partition
+
+        if strategy not in PARTITION_STRATEGIES:
+            raise ValueError(f"unknown partition strategy {strategy!r}")
+        fg = graph.freeze()
+        part = build_partition(fg, num_sites, strategy)
+        # the snapshot covers every node; keep the assignment scoped to
+        # the reachable set like the in-place strategies above
+        for pos, node in enumerate(fg.node_ids):
+            if node in reach:
+                site_of[node] = part.site_of[pos]
+        dist = DistributedGraph(graph, site_of, num_sites)
+        dist._frozen = fg
+        return dist
     return DistributedGraph(graph, site_of, num_sites)

@@ -1,0 +1,96 @@
+"""The dense kernel plan and the public kernel API surface.
+
+:func:`~repro.automata.product.compile_dense` materializes the lazy DFA
+over a snapshot's interned alphabet with a *deterministic* state
+numbering (BFS, labels in ascending id order) -- that is what lets a
+plan be pickled to worker processes that never saw the parent's
+visitation order.  The decomposition modules consume the kernel through
+the public names (``product_bfs``, ``ordered_edge_indices``) rather
+than private underscore imports; the import test pins that surface.
+"""
+
+import pickle
+
+import pytest
+
+from repro.automata import (
+    DensePlan,
+    PlanTooLarge,
+    compile_dense,
+    ordered_edge_indices,
+    product_bfs,
+    rpq_nodes,
+)
+from repro.datasets import generate_web
+
+PATTERNS = ["link*", "(link|keyword)*", "link.link", "_*.keyword", "(!link)*"]
+
+
+def dense_rpq(fg, plan, start):
+    """Reference single-site evaluation driven only by the plan."""
+    start_pos = fg._pos(start)
+    seen = {(start_pos, plan.start)}
+    stack = [(start_pos, plan.start)]
+    out = {start} if plan.is_accepting(plan.start) else set()
+    offsets, targets, label_ids = fg.offsets, fg.targets, fg.label_ids
+    while stack:
+        pos, state = stack.pop()
+        for i in range(offsets[pos], offsets[pos + 1]):
+            nxt = plan.step(state, label_ids[i])
+            if nxt < 0:
+                continue
+            dst = targets[i]
+            dst_pos = dst if fg.index is None else fg.index[dst]
+            if (dst_pos, nxt) in seen:
+                continue
+            seen.add((dst_pos, nxt))
+            if plan.is_accepting(nxt):
+                out.add(dst)
+            stack.append((dst_pos, nxt))
+    return out
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_dense_plan_agrees_with_lazy_kernel(pattern):
+    fg = generate_web(80, seed=9).freeze()
+    plan = compile_dense(pattern, fg.labels_seq)
+    assert dense_rpq(fg, plan, fg.root) == rpq_nodes(fg, pattern)
+
+
+def test_plan_is_deterministic_and_picklable():
+    fg = generate_web(30, seed=4).freeze()
+    a = compile_dense("(link|keyword)*", fg.labels_seq)
+    b = compile_dense("(link|keyword)*", fg.labels_seq)
+    assert a.trans == b.trans and a.accepting == b.accepting
+    thawed = pickle.loads(pickle.dumps(a))
+    assert isinstance(thawed, DensePlan)
+    assert thawed.trans == a.trans
+    assert thawed.accepting == a.accepting
+    assert thawed.num_states == a.num_states
+    assert thawed.num_labels == a.num_labels
+
+
+def test_plan_shape_invariants():
+    fg = generate_web(30, seed=4).freeze()
+    plan = compile_dense("link*", fg.labels_seq)
+    assert plan.num_labels == len(fg.labels_seq)
+    assert len(plan.trans) == plan.num_states * plan.num_labels
+    assert len(plan.accepting) == plan.num_states
+    assert all(-1 <= t < plan.num_states for t in plan.trans)
+    assert plan.start == 0
+
+
+def test_plan_too_large_raises():
+    fg = generate_web(30, seed=4).freeze()
+    with pytest.raises(PlanTooLarge):
+        compile_dense("(link|keyword)*", fg.labels_seq, max_states=1)
+
+
+def test_public_kernel_api_is_importable_without_underscores():
+    # the decomposition modules depend on these names being public
+    assert callable(product_bfs)
+    assert callable(ordered_edge_indices)
+    from repro.automata import product
+
+    assert not hasattr(product, "_product_bfs")
+    assert not hasattr(product, "_ordered_edge_indices")

@@ -1,0 +1,213 @@
+"""Shared-memory snapshot lifecycle, round-trips, and leak accounting."""
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.automata import rpq_nodes
+from repro.core.frozen import FrozenGraph
+from repro.core.graph import Graph
+from repro.core.shared import (
+    SharedSnapshotError,
+    attach,
+    flatten_partitions,
+    live_segments,
+    pack,
+)
+from repro.datasets import generate_web
+
+
+def cyclic_graph() -> Graph:
+    g = Graph()
+    a, b, c, d = (g.new_node() for _ in range(4))
+    g.set_root(a)
+    g.add_edge(a, "next", b)
+    g.add_edge(b, "next", c)
+    g.add_edge(c, "back", a)
+    g.add_edge(a, "skip", c)
+    g.add_edge(c, "next", d)
+    return g
+
+
+class TestRoundTrip:
+    def test_vectors_and_metadata_survive(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            try:
+                view = other.graph
+                assert list(view.offsets) == list(fg.offsets)
+                assert list(view.targets) == list(fg.targets)
+                assert list(view.label_ids) == list(fg.label_ids)
+                assert view.labels_seq == fg.labels_seq
+                assert view.root == fg.root
+                assert view.num_nodes == fg.num_nodes
+                assert view.num_edges == fg.num_edges
+            finally:
+                other.close()
+
+    def test_rpq_over_attached_view_matches_original(self):
+        fg = generate_web(60, seed=3).freeze()
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            try:
+                for pattern in ("link*", "(link|keyword)*", "link.link"):
+                    assert rpq_nodes(other.graph, pattern) == rpq_nodes(fg, pattern)
+            finally:
+                other.close()
+
+    def test_partitions_rebuild_lazily_and_exactly(self):
+        fg = generate_web(30, seed=1).freeze()
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            try:
+                view = other.graph
+                for pos in range(fg.num_nodes):
+                    got = {lid: list(b) for lid, b in view.partitions[pos].items()}
+                    want = {lid: list(b) for lid, b in fg.partitions[pos].items()}
+                    assert got == want
+            finally:
+                other.close()
+
+    def test_flatten_partitions_round_trips(self):
+        fg = cyclic_graph().freeze()
+        pb_off, plid, pstart, pidx = flatten_partitions(fg)
+        assert len(pb_off) == fg.num_nodes + 1
+        assert len(pidx) == fg.num_edges  # every edge in exactly one bucket
+        rebuilt = []
+        for pos in range(fg.num_nodes):
+            part = {}
+            for j in range(pb_off[pos], pb_off[pos + 1]):
+                part[plid[j]] = list(pidx[pstart[j] : pstart[j + 1]])
+            rebuilt.append(part)
+        assert rebuilt == [
+            {lid: list(b) for lid, b in part.items()} for part in fg.partitions
+        ]
+
+    def test_descriptor_pickles(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            thawed = pickle.loads(pickle.dumps(snap.descriptor))
+            assert thawed == snap.descriptor
+            other = attach(thawed)
+            try:
+                assert rpq_nodes(other.graph, "next*") == rpq_nodes(fg, "next*")
+            finally:
+                other.close()
+
+    def test_frozen_graph_convenience_methods(self):
+        fg = cyclic_graph().freeze()
+        snap = fg.to_shared()
+        try:
+            view = FrozenGraph.from_shared(snap.descriptor)
+            assert rpq_nodes(view, "next*") == rpq_nodes(fg, "next*")
+            view._ext["shared"].close()
+        finally:
+            snap.close()
+            snap.unlink()
+
+    def test_sparse_snapshot_round_trips(self):
+        # a hole in the id space forces node_ids + index to travel too
+        g = Graph()
+        a, hole, b, c = (g.new_node() for _ in range(4))
+        g.set_root(a)
+        g.add_edge(a, "x", b)
+        g.add_edge(b, "y", c)
+        del g._adj[hole]  # simulate a collected node: ids 0, 2, 3
+        fg = g.freeze()
+        assert fg.index is not None
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            try:
+                view = other.graph
+                assert list(view.node_ids) == list(fg.node_ids)
+                assert view.index == fg.index
+            finally:
+                other.close()
+
+
+class TestExtras:
+    def test_extras_ride_the_segment(self):
+        fg = cyclic_graph().freeze()
+        site_of = array("q", [0, 1, 0, 1])
+        with pack(fg, extras={"site_of": site_of}) as snap:
+            other = attach(snap.descriptor)
+            try:
+                assert list(other.field("site_of")) == [0, 1, 0, 1]
+                assert snap.descriptor.extras == ("site_of",)
+            finally:
+                other.close()
+
+    def test_extra_name_collision_rejected(self):
+        fg = cyclic_graph().freeze()
+        with pytest.raises(ValueError, match="collides"):
+            pack(fg, extras={"targets": array("q", [0])})
+
+    def test_extra_type_rejected(self):
+        fg = cyclic_graph().freeze()
+        with pytest.raises(TypeError, match="array"):
+            pack(fg, extras={"weights": [1, 2, 3]})
+
+
+class TestLifecycle:
+    def test_owner_must_unlink_registry(self):
+        fg = cyclic_graph().freeze()
+        snap = pack(fg)
+        assert snap.name in live_segments()
+        snap.close()
+        assert snap.name in live_segments()  # close alone is not enough
+        snap.unlink()
+        assert snap.name not in live_segments()
+        snap.unlink()  # idempotent
+
+    def test_context_manager_closes_and_unlinks(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            name = snap.name
+            assert name in live_segments()
+        assert name not in live_segments()
+        assert snap.closed
+
+    def test_attacher_cannot_unlink(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            with pytest.raises(SharedSnapshotError, match="owner|packing"):
+                other.unlink()
+            other.close()
+
+    def test_field_after_close_raises(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            other = attach(snap.descriptor)
+            other.close()
+            other.close()  # idempotent
+            with pytest.raises(SharedSnapshotError, match="closed"):
+                other.field("targets")
+
+    def test_attach_after_unlink_raises(self):
+        fg = cyclic_graph().freeze()
+        snap = pack(fg)
+        descriptor = snap.descriptor
+        snap.close()
+        snap.unlink()
+        with pytest.raises(SharedSnapshotError, match="does not exist"):
+            attach(descriptor)
+
+    def test_truncated_segment_rejected(self):
+        fg = cyclic_graph().freeze()
+        with pack(fg) as snap:
+            fields = snap.descriptor.fields
+            lying = type(snap.descriptor)(
+                name=snap.descriptor.name,
+                fields=fields + (("ghost", 0, 10_000_000),),
+                labels=snap.descriptor.labels,
+                num_nodes=snap.descriptor.num_nodes,
+                num_edges=snap.descriptor.num_edges,
+                root=snap.descriptor.root,
+                source_version=snap.descriptor.source_version,
+                dense=snap.descriptor.dense,
+            )
+            with pytest.raises(SharedSnapshotError, match="bytes"):
+                attach(lying)

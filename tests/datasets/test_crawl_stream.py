@@ -1,0 +1,82 @@
+"""The streaming crawl generator: determinism, shape, and equivalence.
+
+``stream_crawl_edges`` exists so E17 can build multi-million-edge
+snapshots without a graph object; these tests pin what that shortcut
+must preserve: the stream is a pure function of its parameters, it is
+legal ``from_edge_stream`` input (source-nondecreasing), and freezing
+the stream directly is byte-identical to loading it into a
+:class:`~repro.core.graph.Graph` and freezing that.
+"""
+
+from repro.automata import rpq_nodes
+from repro.core.graph import Graph
+from repro.datasets import generate_crawl, stream_crawl_edges
+
+N = 3000
+
+
+def test_stream_is_deterministic():
+    a = list(stream_crawl_edges(N, seed=7))
+    b = list(stream_crawl_edges(N, seed=7))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert list(stream_crawl_edges(N, seed=1)) != list(stream_crawl_edges(N, seed=2))
+
+
+def test_stream_is_source_nondecreasing():
+    last = -1
+    for src, _label, dst in stream_crawl_edges(N, seed=3):
+        assert src >= last
+        assert 0 <= dst < N
+        last = src
+
+
+def test_labels_are_the_documented_three():
+    labels = {label for _s, label, _d in stream_crawl_edges(N, seed=5)}
+    assert labels <= {"link", "ref", "cite"}
+    assert "link" in labels  # chains alone guarantee link edges
+
+
+def test_frozen_stream_equals_frozen_graph():
+    edges = list(stream_crawl_edges(N, seed=11))
+    fg = generate_crawl(N, seed=11)
+    g = Graph()
+    for _ in range(N):
+        g.new_node()
+    g.set_root(0)
+    for src, label, dst in edges:
+        g.add_edge(src, label, dst)
+    via_graph = g.freeze()
+    assert list(fg.offsets) == list(via_graph.offsets)
+    assert list(fg.targets) == list(via_graph.targets)
+    assert list(fg.label_ids) == list(via_graph.label_ids)
+    assert fg.labels_seq == via_graph.labels_seq
+    assert fg.root == via_graph.root == 0
+
+
+def test_every_page_reachable_from_the_hub():
+    fg = generate_crawl(N, seed=13)
+    assert len(rpq_nodes(fg, "_*")) == N
+
+
+def test_edge_count_tracks_mean_degree():
+    fg = generate_crawl(N, seed=17, mean_extra_degree=2.0)
+    # one chain edge per non-entry page + hub fan-out + power-law extras:
+    # the mean must land near (1 + mean_extra_degree) per page
+    per_page = fg.num_edges / N
+    assert 1.5 < per_page < 4.5
+
+
+def test_local_fraction_controls_cross_host_labels():
+    local = sum(
+        1 for _s, label, _d in stream_crawl_edges(N, seed=19, local_fraction=1.0)
+        if label != "link"
+    )
+    mixed = sum(
+        1 for _s, label, _d in stream_crawl_edges(N, seed=19, local_fraction=0.3)
+        if label != "link"
+    )
+    assert local == 0  # fully local crawls never emit ref/cite
+    assert mixed > 0
