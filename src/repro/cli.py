@@ -392,24 +392,56 @@ def _cmd_distributed(args) -> int:
     return 0 if result.completeness.complete else 3
 
 
+def _open_store(directory, bootstrap=None):
+    """Open (or bootstrap) a versioned store directory."""
+    from .storage.mvcc import CHECKPOINT_NAME, WAL_NAME, VersionedGraphStore
+
+    directory = Path(directory)
+    fresh = not (directory / CHECKPOINT_NAME).exists() and not (
+        directory / WAL_NAME
+    ).exists()
+    if fresh and bootstrap is not None:
+        return VersionedGraphStore.create(directory, load_database(bootstrap))
+    return VersionedGraphStore(directory)
+
+
 def _cmd_serve(args) -> int:
     """Run the asyncio query server until interrupted (docs/SERVICE.md).
 
     ``--max-requests N`` exits after serving N requests -- how tests
     (and scripted demos) run a real-socket server with a bounded life.
+    With ``--data-dir`` the server is writable: it serves (and accepts
+    ``apply`` requests against) a durable versioned store, bootstrapped
+    from ``file`` on first start.
     """
     import asyncio
 
     from .service import AsyncQueryServer, QueryService
 
-    service = QueryService(
-        load_database(args.file),
+    options = dict(
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         max_sessions=args.max_sessions,
         default_deadline=args.deadline,
         default_budget=args.budget,
     )
+    store = None
+    if args.data_dir is not None:
+        store = _open_store(args.data_dir, bootstrap=args.file)
+        report = store.recovery
+        if report.replayed_records or report.discarded_bytes:
+            print(
+                f"recovered v{report.commit_seq}: {report.replayed_records} "
+                f"WAL records replayed, {report.discarded_bytes} torn bytes "
+                "discarded",
+                file=sys.stderr,
+            )
+        service = QueryService(store=store, **options)
+    elif args.file is not None:
+        service = QueryService(load_database(args.file), **options)
+    else:
+        print("error: serve needs a database file or --data-dir", file=sys.stderr)
+        return 2
 
     async def run() -> None:
         server = AsyncQueryServer(service, host=args.host, port=args.port)
@@ -428,6 +460,90 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Open a store directory, report what recovery found, and exit.
+
+    The exit code is the contract: 0 means the directory recovered to a
+    consistent version (torn tails discarded are normal after a crash);
+    2 (via the main error handler) means real corruption -- a checkpoint
+    that fails its CRC is damage no WAL replay can repair.
+    """
+    store = _open_store(args.dir)
+    try:
+        report = store.recovery
+        payload = {
+            "version": report.commit_seq,
+            "checkpoint_seq": report.checkpoint_seq,
+            "replayed_records": report.replayed_records,
+            "discarded_bytes": report.discarded_bytes,
+            "discarded_records": report.discarded_records,
+            "nodes": store.graph.num_nodes,
+            "edges": store.graph.num_edges,
+        }
+        if args.checkpoint:
+            store.checkpoint()
+            payload["checkpointed"] = True
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_mutate(args) -> int:
+    """Apply a JSON mutation batch to a store directory, durably.
+
+    The batch format is the service's ``apply`` op payload (a list of
+    ``{"kind": "node"|"edge"|"root", ...}`` objects; see docs/SERVICE.md)
+    -- the CLI and the server share one write dialect.
+    """
+    from .service.server import label_from_wire
+
+    raw = (
+        sys.stdin.read()
+        if args.mutations == "-"
+        else Path(args.mutations).read_text("utf-8")
+    )
+    mutations = json.loads(raw)
+    if not isinstance(mutations, list) or not mutations:
+        raise ValueError("mutations must be a non-empty JSON list")
+    store = _open_store(args.dir, bootstrap=args.bootstrap)
+    try:
+        batch = store.batch()
+        names: dict[str, int] = {}
+
+        def resolve(ref):
+            if isinstance(ref, str):
+                if ref not in names:
+                    raise ValueError(f"unknown node name {ref!r}")
+                return names[ref]
+            return ref
+
+        for mutation in mutations:
+            kind = mutation.get("kind")
+            if kind == "node":
+                node = batch.new_node()
+                if mutation.get("name") is not None:
+                    names[str(mutation["name"])] = node
+            elif kind == "edge":
+                batch.add_edge(
+                    resolve(mutation.get("src")),
+                    label_from_wire(mutation.get("label")),
+                    resolve(mutation.get("dst")),
+                )
+            elif kind == "root":
+                batch.set_root(resolve(mutation.get("node")))
+            else:
+                raise ValueError(f"unknown mutation kind {kind!r}")
+        version = batch.commit(sync=True)
+        print(json.dumps({"version": version, "nodes": names}, sort_keys=True))
+    finally:
+        store.close()
     return 0
 
 
@@ -587,7 +703,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="serve queries over TCP (admission control, deadlines)"
     )
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", default=None,
+                   help="database to serve (or to bootstrap --data-dir from)")
+    p.add_argument("--data-dir", default=None,
+                   help="versioned store directory: serve writable with WAL durability")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0, help="0 picks a free port (printed)")
     p.add_argument("--max-inflight", type=int, default=8, help="concurrent query slots")
@@ -597,6 +716,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=None, help="default per-query op budget")
     p.add_argument("--max-requests", type=int, default=None, help="exit after N requests (tests)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("recover", help="recover a versioned store directory, print a report")
+    p.add_argument("dir")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="also fold the recovered WAL into a fresh checkpoint")
+    p.set_defaults(fn=_cmd_recover)
+
+    p = sub.add_parser("mutate", help="apply a JSON mutation batch to a store directory")
+    p.add_argument("dir")
+    p.add_argument("mutations", help="JSON file of mutations ('-' reads stdin)")
+    p.add_argument("--bootstrap", default=None,
+                   help="database file to initialize an empty store from")
+    p.set_defaults(fn=_cmd_mutate)
 
     p = sub.add_parser("remote", help="run one query against a repro serve instance")
     p.add_argument("query")

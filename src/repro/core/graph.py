@@ -90,6 +90,23 @@ class Graph:
         self._version += 1
         return node
 
+    def ensure_node(self, node: int) -> int:
+        """Materialize a node under a caller-chosen id (idempotent).
+
+        ``new_node`` allocates ids; ``ensure_node`` *replays* them: the
+        write-ahead log records the id a writer allocated, and recovery
+        must reproduce it exactly so edges in later deltas resolve.  The
+        allocator is advanced past ``node`` so fresh allocations never
+        collide with replayed ids.
+        """
+        if node < 0:
+            raise GraphError(f"node ids are non-negative, got {node}")
+        if node not in self._adj:
+            self._adj[node] = []
+            self._next_id = max(self._next_id, node + 1)
+            self._version += 1
+        return node
+
     def add_edge(self, src: int, label: Label | str | int | float | bool, dst: int) -> Edge:
         """Add ``src --label--> dst``.
 

@@ -86,9 +86,33 @@ class GraphIndexes:
         The indexes snapshot the graph at construction; after mutating
         the graph they are *stale* (documented, and pinned by the index
         test suite).  ``refresh`` is the supported way back to agreement
-        with the live graph.
+        with the live graph.  When the mutation is a known set of edge
+        deltas, :meth:`apply_delta` is the cheap alternative.
         """
         self._label = self._value = self._text = self._path = None
+        return self
+
+    def apply_delta(self, new_edges) -> "GraphIndexes":
+        """Maintain every *built* index incrementally from edge deltas.
+
+        The MVCC store calls this per commit with the newly visible
+        edges (each delivered exactly once).  Indexes nobody has built
+        yet stay unbuilt -- they will construct fresh, hence current, on
+        first access.  After the call the path index is fresh without a
+        rebuild: the ``StaleIndexError``-free write path.
+        """
+        new_edges = list(new_edges)
+        if new_edges:
+            if self._label is not None:
+                self._label.refresh(new_edges)
+            if self._value is not None:
+                self._value.refresh(new_edges)
+            if self._text is not None:
+                self._text.refresh(new_edges)
+        if self._path is not None:
+            # even an empty delta re-stamps freshness: a node-only commit
+            # bumps the graph version without touching any path
+            self._path.refresh(new_edges)
         return self
 
     def _built(self) -> dict[str, object]:

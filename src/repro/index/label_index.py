@@ -13,7 +13,7 @@ the whole database.
 from __future__ import annotations
 
 import fnmatch
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..core.graph import Edge, Graph
 from ..core.labels import Label, LabelKind
@@ -46,6 +46,20 @@ class LabelIndex:
             self.hits += 1
         else:
             self.misses += 1
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def refresh(self, new_edges: "Iterable[Edge]") -> "LabelIndex":
+        """Fold newly visible edges in (the MVCC store's delta path).
+
+        The graph is append-only, so maintenance is pure insertion: each
+        edge lands in its label's posting list.  The caller (the store)
+        guarantees each visible edge is delivered exactly once.
+        """
+        for edge in new_edges:
+            self._by_label.setdefault(edge.label, []).append(edge)
+            self._edge_count += 1
+        return self
 
     # -- lookups ---------------------------------------------------------------
 

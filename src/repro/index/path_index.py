@@ -61,6 +61,9 @@ class PathIndex:
         self.hits = 0
         self.misses = 0
         self._paths: dict[tuple[Label, ...], set[int]] = {(): {graph.root}}
+        # inverted map node -> indexed paths reaching it; this is what
+        # makes refresh() proportional to the delta's consequences
+        self._node_paths: dict[int, set[tuple[Label, ...]]] = {graph.root: {()}}
         frontier: deque[tuple[tuple[Label, ...], int]] = deque([((), graph.root)])
         # BFS over (path, node) pairs; paths are truncated at max_depth.
         seen: set[tuple[tuple[Label, ...], int]] = {((), graph.root)}
@@ -71,10 +74,55 @@ class PathIndex:
             for edge in graph.edges_from(node):
                 extended = path + (edge.label,)
                 self._paths.setdefault(extended, set()).add(edge.dst)
+                self._node_paths.setdefault(edge.dst, set()).add(extended)
                 state = (extended, edge.dst)
                 if state not in seen:
                     seen.add(state)
                     frontier.append(state)
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def refresh(self, new_edges) -> "PathIndex":
+        """Fold newly visible edges in; the StaleIndexError-free path.
+
+        For every new edge ``src --l--> dst``, each indexed path already
+        reaching ``src`` extends through the edge; the worklist then
+        closes over the consequences (paths newly reaching a node open
+        that node's *entire* out-neighbourhood at the longer depth, and
+        the graph may be cyclic).  The closure is a BFS over newly true
+        ``(path, node)`` facts, so each fact is processed once no matter
+        how the deltas arrive -- property-tested equal to a cold
+        rebuild.  Afterwards the index is fresh: ``is_stale()`` is false
+        and lookups serve without rebuilding.
+        """
+        work: deque[tuple[tuple[Label, ...], int]] = deque()
+        for edge in new_edges:
+            for path in list(self._node_paths.get(edge.src, ())):
+                if len(path) < self.max_depth:
+                    self._extend(path, edge.label, edge.dst, work)
+        graph = self._graph
+        while work:
+            path, node = work.popleft()
+            if len(path) >= self.max_depth:
+                continue
+            for edge in graph.edges_from(node):
+                self._extend(path, edge.label, edge.dst, work)
+        self._built_version = getattr(graph, "version", 0)
+        return self
+
+    def _extend(
+        self,
+        path: tuple[Label, ...],
+        label: Label,
+        dst: int,
+        work: "deque[tuple[tuple[Label, ...], int]]",
+    ) -> None:
+        extended = path + (label,)
+        targets = self._paths.setdefault(extended, set())
+        if dst not in targets:
+            targets.add(dst)
+            self._node_paths.setdefault(dst, set()).add(extended)
+            work.append((extended, dst))
 
     def is_stale(self) -> bool:
         """True iff the source graph mutated since the index was built."""

@@ -46,6 +46,18 @@ class TextIndex:
                         seen.add(word)
                         self._postings.setdefault(word, []).append(edge)
 
+    def refresh(self, new_edges: "Iterable[Edge]") -> "TextIndex":
+        """Fold newly visible edges into the postings (MVCC delta path)."""
+        for edge in new_edges:
+            if not edge.label.is_string:
+                continue
+            seen: set[str] = set()
+            for word in tokenize(str(edge.label.value)):
+                if word not in seen:
+                    seen.add(word)
+                    self._postings.setdefault(word, []).append(edge)
+        return self
+
     def containing_word(self, word: str) -> tuple[Edge, ...]:
         """All string edges containing ``word`` (case-insensitive)."""
         postings = self._postings.get(word.lower())

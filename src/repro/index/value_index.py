@@ -16,7 +16,7 @@ sorted arrays with ``bisect`` access, so range/prefix queries cost
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..core.graph import Edge, Graph
 from ..core.labels import Label, LabelKind
@@ -59,6 +59,31 @@ class ValueIndex:
             self.hits += 1
         else:
             self.misses += 1
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def refresh(self, new_edges: "Iterable[Edge]") -> "ValueIndex":
+        """Fold newly visible edges in, keeping the sorted arrays sorted.
+
+        Each data edge costs one hash insert plus one ``insort`` into
+        its kind's array -- proportional to the delta, not the database.
+        """
+        for edge in new_edges:
+            label = edge.label
+            if label.is_symbol:
+                continue
+            self._exact.setdefault(label, []).append(edge)
+            if label.kind in (LabelKind.INT, LabelKind.REAL):
+                key = float(label.value)
+                at = bisect.bisect_right(self._number_keys, key)
+                self._number_keys.insert(at, key)
+                self._number_edges.insert(at, edge)
+            elif label.kind is LabelKind.STRING:
+                key = str(label.value)
+                at = bisect.bisect_right(self._string_keys, key)
+                self._string_keys.insert(at, key)
+                self._string_edges.insert(at, edge)
+        return self
 
     # -- exact ----------------------------------------------------------------
 

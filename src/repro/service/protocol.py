@@ -18,8 +18,23 @@ Request::
      "profile": false,       # optional: attach a QueryProfile
      "engine": "auto"}       # optional: native | sql | auto
 
-``op`` is one of ``rpq | lorel | unql | find | stats | ping | cancel``;
-``cancel`` carries ``{"target": <id>}`` instead of a query.
+``op`` is one of ``rpq | lorel | unql | find | apply | stats | ping |
+cancel``; ``cancel`` carries ``{"target": <id>}`` instead of a query.
+
+``apply`` is the write op (services backed by a
+:class:`~repro.storage.VersionedGraphStore` only)::
+
+    {"id": 2, "op": "apply",
+     "mutations": [{"kind": "node", "name": "m"},
+                   {"kind": "edge", "src": 7, "label": "Movie", "dst": "m"},
+                   {"kind": "root", "node": 7}],
+     "sync": true}            # optional: false defers the fsync (group commit)
+
+Node ``name`` strings are batch-local handles for wiring edges to nodes
+created in the same request; the response's ``result.nodes`` maps them
+to their allocated ids.  A ``label`` may be a JSON scalar (strings mean
+*symbols*, numbers and booleans mean base data) or an explicit
+``{"kind": "string"|"symbol"|"int"|"real"|"bool", "value": ...}``.
 
 Response (one per request, matched by ``id``)::
 
@@ -50,6 +65,7 @@ from .errors import ProtocolError
 __all__ = [
     "MAX_FRAME_BYTES",
     "OPS",
+    "MUTATION_KINDS",
     "STATUSES",
     "encode_frame",
     "FrameDecoder",
@@ -63,7 +79,10 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 _LEN = struct.Struct(">I")
 
 #: Every operation the dispatcher understands.
-OPS = frozenset({"rpq", "lorel", "unql", "find", "stats", "ping", "cancel"})
+OPS = frozenset({"rpq", "lorel", "unql", "find", "apply", "stats", "ping", "cancel"})
+
+#: The mutation kinds an ``apply`` request may carry.
+MUTATION_KINDS = frozenset({"node", "edge", "root"})
 
 #: Every status a response can carry.
 STATUSES = frozenset({"ok", "partial", "deadline", "overloaded", "error"})
@@ -143,6 +162,21 @@ def validate_request(obj: dict) -> dict:
             raise ProtocolError(
                 f"'engine' must be 'native', 'sql' or 'auto', got {engine!r}"
             )
+    elif op == "apply":
+        mutations = obj.get("mutations")
+        if not isinstance(mutations, list) or not mutations:
+            raise ProtocolError("apply needs a non-empty 'mutations' list")
+        for mutation in mutations:
+            if not isinstance(mutation, dict):
+                raise ProtocolError("each mutation must be an object")
+            if mutation.get("kind") not in MUTATION_KINDS:
+                raise ProtocolError(
+                    f"mutation kind must be one of {sorted(MUTATION_KINDS)}, "
+                    f"got {mutation.get('kind')!r}"
+                )
+        sync = obj.get("sync")
+        if sync is not None and not isinstance(sync, bool):
+            raise ProtocolError("'sync' must be a boolean")
     for field, kinds in (("deadline", (int, float)), ("budget", (int,))):
         value = obj.get(field)
         if value is not None:

@@ -46,7 +46,6 @@ from ..automata.product import (
 )
 from ..browse import find_value_profiled, where_is
 from ..core.builder import to_obj
-from ..core.convert import graph_to_oem
 from ..core.frozen import FrozenGraph, freeze
 from ..core.graph import Graph
 from ..lorel import evaluate_lorel_profiled, lorel, lorel_rows, parse_lorel
@@ -62,6 +61,7 @@ from ..resilience import (
     ResilienceError,
 )
 from ..resilience.clock import Clock, WallClock
+from ..storage.mvcc import SnapshotView
 from ..unql import evaluate_query_profiled, parse_query, unql
 from .errors import Overloaded, ProtocolError
 from .governor import SERVICE_METRICS, AdmissionGovernor, Ticket
@@ -69,19 +69,54 @@ from .protocol import FrameDecoder, encode_frame, validate_request
 from .session import Session, SessionManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.labels import Label
     from ..obs.metrics import MetricsRegistry
     from ..obs.trace import Tracer
+    from ..storage.mvcc import VersionedGraphStore
 
 __all__ = [
     "QueryService",
     "QueryTask",
     "AsyncQueryServer",
     "completeness_to_dict",
+    "label_from_wire",
     "request_over_socket",
 ]
 
 #: Engine ops that go through admission (control-plane ops bypass it).
-QUERY_OPS = frozenset({"rpq", "lorel", "unql", "find"})
+#: ``apply`` is one of them: writes compete for the same worker slots as
+#: queries, so a write burst sheds at admission instead of starving reads.
+QUERY_OPS = frozenset({"rpq", "lorel", "unql", "find", "apply"})
+
+
+def label_from_wire(value) -> "Label | str | int | float | bool":
+    """Decode a mutation's JSON ``label`` field.
+
+    Scalars follow :meth:`Graph.add_edge` semantics (a plain string is a
+    *symbol*); the explicit object form selects the kind, which is the
+    only way to send string *data* over the wire.
+    """
+    from ..core.labels import Label, LabelKind, label_of, sym
+
+    if isinstance(value, dict):
+        kind = value.get("kind")
+        raw = value.get("value")
+        if kind == "symbol":
+            return sym(str(raw))
+        if kind == "string":
+            return Label(LabelKind.STRING, str(raw))
+        if kind == "int":
+            return Label(LabelKind.INT, int(raw))
+        if kind == "real":
+            return Label(LabelKind.REAL, float(raw))
+        if kind == "bool":
+            return Label(LabelKind.BOOL, bool(raw))
+        raise ValueError(f"unknown label kind {kind!r}")
+    if isinstance(value, str):
+        return sym(value)
+    if isinstance(value, (bool, int, float)):
+        return label_of(value)
+    raise ValueError(f"cannot interpret {value!r} as an edge label")
 
 
 def completeness_to_dict(report: Completeness) -> dict[str, object]:
@@ -104,9 +139,16 @@ def completeness_to_dict(report: Completeness) -> dict[str, object]:
 
 
 class QueryTask:
-    """One admitted (or shed) request moving through the worker pool."""
+    """One admitted (or shed) request moving through the worker pool.
 
-    __slots__ = ("service", "session", "request", "ticket", "response")
+    ``view`` is the snapshot the task was *submitted* against, pinned at
+    admission time: however long the task waits in the queue, and
+    however many commits land meanwhile, it executes against exactly
+    that version -- an in-flight query can never observe a torn (or
+    even a newer) graph.
+    """
+
+    __slots__ = ("service", "session", "request", "ticket", "response", "view")
 
     def __init__(
         self,
@@ -121,6 +163,7 @@ class QueryTask:
         self.request = request
         self.ticket = ticket
         self.response = response
+        self.view = None
 
     @property
     def done(self) -> bool:
@@ -153,12 +196,21 @@ class QueryTask:
 
 
 class QueryService:
-    """Engines + sessions + governor over one frozen snapshot."""
+    """Engines + sessions + governor over one frozen snapshot.
+
+    With a ``store`` (a :class:`~repro.storage.VersionedGraphStore`),
+    the service additionally accepts ``apply`` write requests and the
+    "one frozen snapshot" becomes "one frozen snapshot *per version*":
+    every query pins the version current at submission, writers never
+    block readers, and a plain-graph service is simply the degenerate
+    store-less case whose single version never changes.
+    """
 
     def __init__(
         self,
-        graph: "Graph | FrozenGraph",
+        graph: "Graph | FrozenGraph | None" = None,
         *,
+        store: "VersionedGraphStore | None" = None,
         clock: "Clock | None" = None,
         max_inflight: int = 8,
         max_queue: int = 16,
@@ -172,8 +224,19 @@ class QueryService:
         breaker_cooldown: float = 1.0,
     ) -> None:
         self.clock: Clock = clock if clock is not None else WallClock()
-        self.frozen = freeze(graph)
-        self.graph: Graph = graph.thaw() if isinstance(graph, FrozenGraph) else graph
+        self.store = store
+        if store is not None:
+            if graph is not None:
+                raise ValueError("pass a graph or a store, not both")
+            self._static_view: "SnapshotView | None" = None
+        elif graph is not None:
+            view = SnapshotView(freeze(graph), 0)
+            # serve the *original* mutable graph to the one-shot engines
+            # (no thaw copy): without a store nothing ever mutates it
+            view._graph = graph.thaw() if isinstance(graph, FrozenGraph) else graph
+            self._static_view = view
+        else:
+            raise ValueError("QueryService needs a graph or a store")
         self.metrics = metrics
         self.tracer = tracer
         self.injector = injector
@@ -188,7 +251,6 @@ class QueryService:
         )
         self.sessions = SessionManager(max_sessions)
         self.plan_cache = PlanCache(name="service_plan_cache")
-        self._oem = None
         self._breakers = {
             op: CircuitBreaker(
                 failure_threshold=breaker_threshold,
@@ -208,6 +270,28 @@ class QueryService:
         self._sql_answered = metrics.counter("service_sql_answered")
         self._sql_fallback = metrics.counter("service_sql_fallback")
         self._sql_backend = None
+        self._sql_snapshot_id: "int | None" = None
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def current_view(self) -> SnapshotView:
+        """The newest version's pinned read view."""
+        if self.store is not None:
+            return self.store.view()
+        assert self._static_view is not None
+        return self._static_view
+
+    @property
+    def frozen(self) -> FrozenGraph:
+        """The current frozen snapshot (per-version cached with a store)."""
+        return self.current_view().frozen
+
+    @property
+    def graph(self) -> Graph:
+        """The mutable-API graph behind the current snapshot."""
+        if self.store is not None:
+            return self.store.graph
+        return self.current_view().graph
 
     # -- connection lifecycle ----------------------------------------------------
 
@@ -272,7 +356,12 @@ class QueryService:
                 ),
             )
         session.track(rid, ticket.control)
-        return QueryTask(self, session, request, ticket)
+        task = QueryTask(self, session, request, ticket)
+        if op != "apply":
+            # pin the snapshot NOW: commits that land while this task
+            # waits in the queue must not change what it reads
+            task.view = self.current_view()
+        return task
 
     # -- execution ---------------------------------------------------------------
 
@@ -294,13 +383,15 @@ class QueryService:
             # fails here without touching an engine
             control.checkpoint(0)
             self._guard_worker(op)
-            if (
+            if op == "apply":
+                task.response = self._apply(rid, request)
+            elif (
                 op == "rpq"
                 and not request.get("profile")
                 and request.get("engine", "native") == "native"
             ):
                 stepper = RpqStepper(
-                    self.frozen, request["query"], plan_cache=self.plan_cache
+                    task.view.frozen, request["query"], plan_cache=self.plan_cache
                 )
                 control.checkpoint(0)
                 while True:
@@ -318,7 +409,7 @@ class QueryService:
                     supersteps=stepper.supersteps,
                 )
             else:
-                task.response = self._run_oneshot(rid, op, request)
+                task.response = self._run_oneshot(rid, op, request, task.view)
         except QueryCancelled as exc:
             task.response = self._interrupted(rid, "partial", "cancelled", exc, stepper)
             self._cancelled_counter.inc()
@@ -366,7 +457,9 @@ class QueryService:
             raise
         breaker.record_success()
 
-    def _run_oneshot(self, rid: int, op: str, request: dict) -> dict:
+    def _run_oneshot(
+        self, rid: int, op: str, request: dict, view: SnapshotView
+    ) -> dict:
         """The non-checkpointed engines (and profiled twins), one call each.
 
         Profiled queries use the library's default profiled entry points
@@ -375,7 +468,8 @@ class QueryService:
         suite pins.  One-shot work is not interruptible mid-engine; the
         deadline was checked at the entry checkpoint and the answer,
         once computed, is returned even if it finished late (dropping
-        finished work helps no one).
+        finished work helps no one).  Every engine reads ``view`` -- the
+        snapshot pinned at submission -- never the live graph.
         """
         query = request.get("query", "")
         profiled = bool(request.get("profile"))
@@ -383,40 +477,40 @@ class QueryService:
         # golden-parity contract, and the SQL engine has no QueryProfile
         engine = "native" if profiled else str(request.get("engine", "native"))
         if engine in ("sql", "auto") and op in ("rpq", "lorel", "unql"):
-            response = self._sql_oneshot(rid, op, query, engine)
+            response = self._sql_oneshot(rid, op, query, engine, view)
             if response is not None:
                 return response
         if op == "rpq":
             if profiled:
-                results, profile = rpq_nodes_profiled(self.frozen, query)
+                results, profile = rpq_nodes_profiled(view.frozen, query)
                 return self._respond(
                     rid, "ok", result=sorted(results), profile=profile.as_dict()
                 )
             # an auto rpq that fell back from SQL (plain native rpq
             # streams through the stepper and never reaches here)
-            results = rpq_nodes(self.frozen, query, plan_cache=self.plan_cache)
+            results = rpq_nodes(view.frozen, query, plan_cache=self.plan_cache)
             return self._respond(rid, "ok", result=sorted(results))
         if op == "lorel":
             if profiled:
                 answer, profile = evaluate_lorel_profiled(
-                    parse_lorel(query), self.oem, query_text=query
+                    parse_lorel(query), view.oem, query_text=query
                 )
                 return self._respond(
                     rid, "ok", result=lorel_rows(answer), profile=profile.as_dict()
                 )
-            return self._respond(rid, "ok", result=lorel_rows(lorel(query, self.oem)))
+            return self._respond(rid, "ok", result=lorel_rows(lorel(query, view.oem)))
         if op == "unql":
             if profiled:
                 result, profile = evaluate_query_profiled(
                     parse_query(query),
-                    {"db": self.graph, "DB": self.graph},
+                    {"db": view.graph, "DB": view.graph},
                     query_text=query,
                 )
                 return self._respond(
                     rid, "ok", result=to_obj(result), profile=profile.as_dict()
                 )
             return self._respond(
-                rid, "ok", result=to_obj(unql(query, db=self.graph))
+                rid, "ok", result=to_obj(unql(query, db=view.graph))
             )
         # find: the section-1.3 "where is it" browse query
         value: object = query
@@ -425,13 +519,15 @@ class QueryService:
         except json.JSONDecodeError:
             pass
         if profiled:
-            findings, profile = find_value_profiled(self.graph, value, None)
+            findings, profile = find_value_profiled(view.graph, value, None)
             return self._respond(
                 rid, "ok", result=[str(f) for f in findings], profile=profile.as_dict()
             )
-        return self._respond(rid, "ok", result=where_is(self.graph, value))
+        return self._respond(rid, "ok", result=where_is(view.graph, value))
 
-    def _sql_oneshot(self, rid: int, op: str, query: str, engine: str) -> "dict | None":
+    def _sql_oneshot(
+        self, rid: int, op: str, query: str, engine: str, view: SnapshotView
+    ) -> "dict | None":
         """One query op on the SQL engine, or ``None`` to fall back native.
 
         ``engine == "auto"`` turns :class:`NotCompilable` into a counted
@@ -442,17 +538,18 @@ class QueryService:
         """
         from ..sqlbackend import NotCompilable, lorel_sql_backend_for, unql_sql
 
+        backend = self._sql_backend_for(view)
         try:
             if op == "rpq":
                 # auto mirrors the planner policy: sargable plans go to
                 # SQL, fixpoint (closure) plans stay on the native kernel
-                if engine == "auto" and not self.sql_backend.favors(query):
+                if engine == "auto" and not backend.favors(query):
                     self._sql_fallback.inc()
                     return None
-                nodes = self.sql_backend.rpq_nodes(query, tracer=self.tracer)
+                nodes = backend.rpq_nodes(query, tracer=self.tracer)
                 result: object = sorted(nodes)
             elif op == "lorel":
-                answer = lorel_sql_backend_for(self.oem).evaluate(
+                answer = lorel_sql_backend_for(view.oem).evaluate(
                     parse_lorel(query), tracer=self.tracer
                 )
                 result = lorel_rows(answer)
@@ -460,8 +557,8 @@ class QueryService:
                 result = to_obj(
                     unql_sql(
                         parse_query(query),
-                        {"db": self.graph, "DB": self.graph},
-                        backend=self.sql_backend,
+                        {"db": view.graph, "DB": view.graph},
+                        backend=backend,
                     )
                 )
         except NotCompilable:
@@ -471,6 +568,62 @@ class QueryService:
             return None
         self._sql_answered.inc()
         return self._respond(rid, "ok", result=result, engine="sql")
+
+    # -- the write path ----------------------------------------------------------
+
+    def _apply(self, rid: int, request: dict) -> dict:
+        """Execute one admitted ``apply`` request against the store.
+
+        Mutations stage into a single :class:`~repro.storage.WriteBatch`
+        -- one commit, one WAL record, all-or-nothing.  ``sync: false``
+        defers the fsync to the next synced commit (group commit); the
+        response reports both the new ``version`` and the ``acked``
+        horizon so clients can tell what is durable.
+        """
+        if self.store is None:
+            return self._respond(
+                rid,
+                "error",
+                error="read-only service: no write store attached",
+                error_type="ReadOnly",
+            )
+        batch = self.store.batch()
+        names: dict[str, int] = {}
+
+        def resolve(ref: object) -> int:
+            if isinstance(ref, bool) or not isinstance(ref, (int, str)):
+                raise ValueError(f"node reference must be an id or a name, got {ref!r}")
+            if isinstance(ref, str):
+                if ref not in names:
+                    raise ValueError(f"unknown node name {ref!r}")
+                return names[ref]
+            return ref
+
+        for mutation in request["mutations"]:
+            kind = mutation["kind"]
+            if kind == "node":
+                node = batch.new_node()
+                name = mutation.get("name")
+                if name is not None:
+                    names[str(name)] = node
+            elif kind == "edge":
+                batch.add_edge(
+                    resolve(mutation.get("src")),
+                    label_from_wire(mutation.get("label")),
+                    resolve(mutation.get("dst")),
+                )
+            else:  # root
+                batch.set_root(resolve(mutation.get("node")))
+        version = batch.commit(sync=bool(request.get("sync", True)))
+        return self._respond(
+            rid,
+            "ok",
+            result={
+                "version": version,
+                "acked": self.store.acked_version,
+                "nodes": names,
+            },
+        )
 
     def _interrupted(
         self,
@@ -512,27 +665,43 @@ class QueryService:
 
     @property
     def oem(self):
-        """The OEM view of the snapshot, built on first Lorel query."""
-        if self._oem is None:
-            self._oem = graph_to_oem(self.graph)
-        return self._oem
+        """The OEM view of the current snapshot, built on first Lorel query."""
+        return self.current_view().oem
+
+    def _sql_backend_for(self, view: SnapshotView):
+        """The SQL engine for ``view``'s snapshot (latest-version cached).
+
+        One backend is kept, keyed by snapshot id; a write invalidates
+        it implicitly (the new version's snapshot has a new id).  A task
+        pinned to an older version after a write builds an uncached
+        backend -- correctness over reuse for the rare straggler.
+        """
+        from ..sqlbackend import sql_backend_for
+
+        if (
+            self._sql_backend is not None
+            and self._sql_snapshot_id == view.frozen.snapshot_id
+        ):
+            return self._sql_backend
+        backend = sql_backend_for(view.frozen)
+        if self.store is None or view.version == self.store.version:
+            self._sql_backend = backend
+            self._sql_snapshot_id = view.frozen.snapshot_id
+        return backend
 
     @property
     def sql_backend(self):
-        """The snapshot's SQL engine, built on first ``engine: sql`` query."""
-        if self._sql_backend is None:
-            from ..sqlbackend import sql_backend_for
-
-            self._sql_backend = sql_backend_for(self.frozen)
-        return self._sql_backend
+        """The current snapshot's SQL engine, built on first use."""
+        return self._sql_backend_for(self.current_view())
 
     def stats(self) -> dict[str, object]:
         """The ``stats`` op payload: admission, sessions, snapshot, metrics."""
-        return {
+        frozen = self.frozen
+        payload: dict[str, object] = {
             "graph": {
-                "nodes": self.frozen.num_nodes,
-                "edges": self.frozen.num_edges,
-                "snapshot_id": self.frozen.snapshot_id,
+                "nodes": frozen.num_nodes,
+                "edges": frozen.num_edges,
+                "snapshot_id": frozen.snapshot_id,
             },
             "governor": self.governor.snapshot(),
             "sessions": self.sessions.snapshot(),
@@ -540,6 +709,9 @@ class QueryService:
             "breakers": {op: b.state for op, b in sorted(self._breakers.items())},
             "metrics": metrics_to_dict(self.metrics),
         }
+        if self.store is not None:
+            payload["store"] = self.store.stats()
+        return payload
 
 
 class AsyncQueryServer:

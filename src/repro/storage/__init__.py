@@ -1,6 +1,12 @@
 """Persistent storage for semistructured data (section 4)."""
 
 from .external import EXTERNAL_MARKER, ExternalGraph
+from .mvcc import (
+    RecoveryReport,
+    SnapshotView,
+    VersionedGraphStore,
+    WriteBatch,
+)
 from .serializer import STORAGE_METRICS, SerializationError, dumps, loads
 from .store import (
     GraphStore,
@@ -8,6 +14,13 @@ from .store import (
     PageCache,
     atomic_write_bytes,
     traversal_page_faults,
+)
+from .wal import (
+    AddEdge,
+    AddNode,
+    SetRoot,
+    WriteAheadLog,
+    live_wal_handles,
 )
 
 __all__ = [
@@ -22,4 +35,13 @@ __all__ = [
     "GroupCommit",
     "ExternalGraph",
     "EXTERNAL_MARKER",
+    "AddNode",
+    "AddEdge",
+    "SetRoot",
+    "WriteAheadLog",
+    "live_wal_handles",
+    "VersionedGraphStore",
+    "WriteBatch",
+    "SnapshotView",
+    "RecoveryReport",
 ]

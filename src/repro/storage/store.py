@@ -245,6 +245,25 @@ class GroupCommit:
     records -- each of which carries its own CRC, so a torn tail can
     never be replayed as data.  Either way, no target path is ever
     visible in a half-written state.
+
+    Journal format (all integers big-endian)::
+
+        magic "SSDJ"
+        4 bytes  record count
+        repeated records:
+            4 bytes  CRC32 over the rest of the record
+            4 bytes  name length, then the UTF-8 name
+            8 bytes  payload length, then the payload
+
+    Three defenses layered against a journal that merely *looks* intact
+    (the fuzz suite drives each): the record CRC covers the name and
+    both length fields, not just the payload, so no field can rot
+    independently; the count header rejects a journal truncated at a
+    record boundary (which frames as a valid shorter batch); and
+    :meth:`recover` decodes every payload with :func:`~repro.storage.
+    serializer.loads` before touching any target, so a CRC-valid but
+    semantically truncated record can never be replayed into a target
+    file.
     """
 
     #: Journal magic: distinct from SSD1 so a journal is never loadable
@@ -279,13 +298,17 @@ class GroupCommit:
         if not self._pending:
             return 0
         journal = bytearray(self.MAGIC)
+        journal += len(self._pending).to_bytes(4, "big")
         for name, payload in self._pending:
             encoded = name.encode("utf-8")
-            journal += len(encoded).to_bytes(4, "big")
-            journal += encoded
-            journal += len(payload).to_bytes(8, "big")
-            journal += zlib.crc32(payload).to_bytes(4, "big")
-            journal += payload
+            body = (
+                len(encoded).to_bytes(4, "big")
+                + encoded
+                + len(payload).to_bytes(8, "big")
+                + payload
+            )
+            journal += zlib.crc32(body).to_bytes(4, "big")
+            journal += body
         with open(self.journal_path, "wb") as fh:
             fh.write(journal)
             fh.flush()
@@ -322,6 +345,16 @@ class GroupCommit:
         if records is None:  # torn journal: pre-durability crash
             os.unlink(journal_path)
             return 0
+        for _, payload in records:
+            # semantic validation before any target is touched: a
+            # CRC-valid record whose payload does not decode as a graph
+            # is corruption, and replaying *any* of the batch would
+            # tear atomicity
+            try:
+                loads(payload)
+            except SerializationError:
+                os.unlink(journal_path)
+                return 0
         for name, payload in records:
             atomic_write_bytes(directory / name, payload, fsync=False)
         _fsync_dir(directory)
@@ -331,17 +364,27 @@ class GroupCommit:
 
     @staticmethod
     def _parse_journal(raw: bytes) -> "list[tuple[str, bytes]] | None":
-        """Decode a journal, or ``None`` for anything short of perfect."""
-        if raw[:4] != GroupCommit.MAGIC:
+        """Decode a journal, or ``None`` for anything short of perfect.
+
+        "Perfect" is byte-exact: right magic, a count header matched by
+        exactly that many CRC-clean records, and not one trailing byte.
+        Truncation at *any* offset -- including a record boundary, which
+        the per-record CRCs alone cannot see -- fails the count or the
+        trailing-bytes check and discards the journal.
+        """
+        if raw[:4] != GroupCommit.MAGIC or len(raw) < 8:
             return None
+        count = int.from_bytes(raw[4:8], "big")
         records: list[tuple[str, bytes]] = []
-        pos = 4
-        while pos < len(raw):
-            if pos + 4 > len(raw):
+        pos = 8
+        for _ in range(count):
+            if pos + 8 > len(raw):
                 return None
-            name_len = int.from_bytes(raw[pos : pos + 4], "big")
-            pos += 4
-            if name_len > 4096 or pos + name_len + 12 > len(raw):
+            crc = int.from_bytes(raw[pos : pos + 4], "big")
+            name_len = int.from_bytes(raw[pos + 4 : pos + 8], "big")
+            body_start = pos + 4
+            pos += 8
+            if name_len > 4096 or pos + name_len + 8 > len(raw):
                 return None
             try:
                 name = raw[pos : pos + name_len].decode("utf-8")
@@ -349,15 +392,16 @@ class GroupCommit:
                 return None
             pos += name_len
             payload_len = int.from_bytes(raw[pos : pos + 8], "big")
-            crc = int.from_bytes(raw[pos + 8 : pos + 12], "big")
-            pos += 12
+            pos += 8
             if pos + payload_len > len(raw):
                 return None
             payload = raw[pos : pos + payload_len]
             pos += payload_len
-            if zlib.crc32(payload) != crc:
+            if zlib.crc32(raw[body_start:pos]) != crc:
                 return None
             records.append((name, payload))
+        if pos != len(raw):  # trailing bytes: not the journal we wrote
+            return None
         return records
 
 

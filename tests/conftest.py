@@ -17,6 +17,7 @@ import glob
 import pytest
 
 from repro.core.shared import SEGMENT_PREFIX, live_segments
+from repro.storage import live_wal_handles
 
 
 def _stray_segments() -> list[str]:
@@ -32,4 +33,21 @@ def shared_memory_leak_guard():
     assert not leaked and not strays, (
         f"shared-memory leak: live_segments()={leaked}, /dev/shm strays={strays} "
         "-- some test packed a snapshot and never unlinked it"
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def wal_handle_leak_guard():
+    """No WriteAheadLog may outlive the session (same deal as segments).
+
+    A leaked log handle holds an open file descriptor into a temp dir and
+    usually means a ``VersionedGraphStore`` was abandoned without
+    ``close()`` -- which is exactly the bug that turns a crash-recovery
+    suite into an fd exhaustion generator.
+    """
+    yield
+    leaked = live_wal_handles()
+    assert not leaked, (
+        f"write-ahead log leak: live_wal_handles()={leaked} "
+        "-- some test opened a store or WAL and never closed it"
     )

@@ -1,0 +1,224 @@
+"""The service write path: ``apply`` requests and snapshot isolation.
+
+ISSUE 10's service-layer contract: writes go through admission control
+like any query, a reader admitted before a write answers from the
+snapshot it pinned at admission (readers are never blocked by -- or
+torn by -- writers), and a write acknowledged ``ok`` is durable in the
+store directory across a close/reopen.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.automata.product import rpq_nodes
+from repro.core.graph import Graph
+from repro.datasets import generate_movies
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import SimulatedClock
+from repro.service import InProcessHarness, QueryService
+from repro.service.errors import ProtocolError
+from repro.service.protocol import validate_request
+from repro.storage import VersionedGraphStore
+
+
+def store_service(tmp_path: Path, **kw):
+    store = VersionedGraphStore.create(
+        tmp_path / "store", generate_movies(10, seed=11), durable=False
+    )
+    kw.setdefault("clock", SimulatedClock())
+    kw.setdefault("metrics", MetricsRegistry())
+    return store, QueryService(store=store, **kw)
+
+
+def add_movie_request(rid: int, root: int, title: str, **extra) -> dict:
+    return {
+        "id": rid,
+        "op": "apply",
+        "mutations": [
+            {"kind": "node", "name": "m"},
+            {"kind": "node", "name": "t"},
+            {"kind": "edge", "src": root, "label": "Movie", "dst": "m"},
+            {"kind": "edge", "src": "m", "label": "Title", "dst": "t"},
+            {"kind": "edge", "src": "t", "label": {"kind": "string", "value": title}, "dst": "t"},
+        ],
+        **extra,
+    }
+
+
+class TestApply:
+    def test_apply_commits_and_reports_names(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            response = harness.run_one(add_movie_request(1, store.graph.root, "Gilda"))
+            assert response["status"] == "ok"
+            result = response["result"]
+            assert result["version"] == 1 and result["acked"] == 1
+            assert set(result["nodes"]) == {"m", "t"}
+            movie = result["nodes"]["m"]
+            assert store.graph.has_node(movie)
+
+    def test_new_data_is_queryable_after_apply(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            before = harness.run_one({"id": 1, "op": "rpq", "query": "Entry.Movie.Title"})
+            harness.run_one(add_movie_request(2, store.graph.root, "Gilda"))
+            # the new movie hangs off the root under "Movie", not "Entry";
+            # query it by its own path
+            after = harness.run_one({"id": 3, "op": "rpq", "query": "Movie.Title"})
+            assert after["status"] == "ok"
+            assert len(after["result"]) == 1
+            assert before["result"] == sorted(
+                rpq_nodes(store.view().graph, "Entry.Movie.Title")
+            )
+
+    def test_read_only_service_refuses_typed(self) -> None:
+        svc = QueryService(
+            generate_movies(5, seed=2), clock=SimulatedClock(), metrics=MetricsRegistry()
+        )
+        harness = InProcessHarness(svc)
+        response = harness.run_one(add_movie_request(1, 0, "Nope"))
+        assert response["status"] == "error"
+        assert response["error_type"] == "ReadOnly"
+
+    def test_bad_mutation_is_typed_error_service_survives(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            response = harness.run_one(
+                {
+                    "id": 1,
+                    "op": "apply",
+                    "mutations": [
+                        {"kind": "edge", "src": 99_999, "label": "x", "dst": 99_999}
+                    ],
+                }
+            )
+            assert response["status"] == "error"
+            assert store.version == 0  # nothing committed
+            # the service is alive and the store is still writable
+            ok = harness.run_one(add_movie_request(2, store.graph.root, "Laura"))
+            assert ok["status"] == "ok" and store.version == 1
+
+    def test_deferred_sync_reports_the_ack_horizon(self, tmp_path: Path) -> None:
+        store = VersionedGraphStore.create(
+            tmp_path / "store", generate_movies(6, seed=4), durable=True
+        )
+        svc = QueryService(store=store, clock=SimulatedClock(), metrics=MetricsRegistry())
+        with store:
+            harness = InProcessHarness(svc)
+            root = store.graph.root
+            deferred = harness.run_one(add_movie_request(1, root, "One", sync=False))
+            assert deferred["result"]["version"] == 1
+            assert deferred["result"]["acked"] == 0  # written, not yet durable
+            synced = harness.run_one(add_movie_request(2, root, "Two", sync=True))
+            assert synced["result"]["acked"] == 2  # the group fsync covered both
+
+    def test_apply_is_durable_across_reopen(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        harness = InProcessHarness(svc)
+        response = harness.run_one(add_movie_request(1, store.graph.root, "Notorious"))
+        movie = response["result"]["nodes"]["m"]
+        store.close()
+        with VersionedGraphStore(tmp_path / "store", durable=False) as reopened:
+            assert reopened.version == 1
+            assert reopened.graph.has_node(movie)
+
+    def test_stats_reports_the_store(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            harness.run_one(add_movie_request(1, store.graph.root, "Rope"))
+            stats = harness.run_one({"id": 2, "op": "stats"})["result"]
+            assert stats["store"]["version"] == 1
+            assert stats["store"]["nodes"] == store.graph.num_nodes
+
+
+class TestSnapshotIsolation:
+    def test_reader_admitted_before_write_sees_its_snapshot(self, tmp_path: Path) -> None:
+        """Readers are never blocked by writers -- and never see them.
+
+        A query admitted at version 0 runs interleaved with a write that
+        lands mid-flight; the query must answer exactly for version 0,
+        and a query admitted afterwards must see version 1.
+        """
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            baseline = sorted(rpq_nodes(store.view().graph, "Movie.Title"))
+            reader = harness.submit({"id": 1, "op": "rpq", "query": "Movie.Title"})
+            assert not reader.done  # admitted, pinned at v0, not yet run
+            harness.submit(add_movie_request(2, store.graph.root, "Vertigo"))
+            harness.run()  # round-robin: the write lands while the read steps
+            assert harness.responses[2]["status"] == "ok"
+            assert store.version == 1
+            read = harness.responses[1]
+            assert read["status"] == "ok"
+            assert read["result"] == baseline  # v0 exactly: isolation held
+            fresh = harness.run_one({"id": 3, "op": "rpq", "query": "Movie.Title"})
+            assert len(fresh["result"]) == len(baseline) + 1
+
+    def test_every_engine_serves_from_the_pinned_view(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            harness = InProcessHarness(svc)
+            readers = harness.submit_all(
+                [
+                    {"id": 1, "op": "rpq", "query": "Movie.Title"},
+                    {"id": 2, "op": "lorel", "query": "select m.Title from DB.Movie m"},
+                    {"id": 3, "op": "find", "query": "Title"},
+                ]
+            )
+            assert all(not r.done for r in readers)
+            harness.submit(add_movie_request(4, store.graph.root, "Rebecca"))
+            harness.run()
+            assert harness.responses[4]["status"] == "ok"
+            # the rpq and lorel readers pinned v0: no "Rebecca" anywhere
+            assert harness.responses[1]["result"] == []
+            assert harness.responses[2]["result"] == []
+
+    def test_old_views_survive_many_commits(self, tmp_path: Path) -> None:
+        store, svc = store_service(tmp_path)
+        with store:
+            v0 = svc.current_view()
+            edges0 = v0.frozen.num_edges
+            harness = InProcessHarness(svc)
+            for rid in range(1, 6):
+                harness.run_one(add_movie_request(rid, store.graph.root, f"T{rid}"))
+            assert store.version == 5
+            assert v0.version == 0 and v0.frozen.num_edges == edges0
+
+
+class TestProtocol:
+    def test_apply_requires_nonempty_mutation_list(self) -> None:
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 1, "op": "apply", "mutations": []})
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 1, "op": "apply"})
+        with pytest.raises(ProtocolError):
+            validate_request(
+                {"id": 1, "op": "apply", "mutations": [{"kind": "frob"}]}
+            )
+        with pytest.raises(ProtocolError):
+            validate_request(
+                {"id": 1, "op": "apply", "mutations": [{"kind": "node"}], "sync": "yes"}
+            )
+
+    def test_valid_apply_passes(self) -> None:
+        request = {
+            "id": 1,
+            "op": "apply",
+            "mutations": [{"kind": "node", "name": "n"}],
+            "sync": False,
+        }
+        assert validate_request(request) is request
+
+    def test_service_requires_store_xor_graph(self, tmp_path: Path) -> None:
+        store = VersionedGraphStore.create(tmp_path / "s", Graph(), durable=False)
+        with store:
+            with pytest.raises(ValueError):
+                QueryService(generate_movies(2), store=store)
+            with pytest.raises(ValueError):
+                QueryService()

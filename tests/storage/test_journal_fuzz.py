@@ -1,0 +1,155 @@
+"""Byte-level fuzz of the group-commit journal and the SSD1 loader.
+
+The hardened contract (ISSUE 10 satellite): a journal that is anything
+short of byte-perfect is *discarded whole* -- a bit flip at any offset,
+truncation at any offset (including record boundaries, which per-record
+CRCs alone cannot see), or a CRC-valid record whose payload does not
+decode as a graph must never replay into a target file.  And
+:func:`~repro.storage.serializer.loads` must fail *typed* on arbitrary
+corruption: any exception other than :class:`SerializationError` out of
+the loader is a bug.
+"""
+
+import os
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_movies
+from repro.storage import GroupCommit
+from repro.storage.serializer import SerializationError, dumps, loads
+
+
+def journal_with(tmp_path: Path, n: int = 3) -> tuple[Path, bytes, dict[str, bytes]]:
+    """A genuine journal (written by the real flush) left on disk."""
+    directory = tmp_path / "commits"
+    gc = GroupCommit(directory)
+    payloads = {}
+    for i in range(n):
+        graph = generate_movies(4, seed=i)
+        gc.add(graph, f"snap-{i}.graph")
+        payloads[f"snap-{i}.graph"] = dumps(graph)
+    real_unlink = os.unlink
+    os.unlink = lambda *a, **k: None  # keep the journal past the flush
+    try:
+        gc.flush()
+    finally:
+        os.unlink = real_unlink
+    raw = gc.journal_path.read_bytes()
+    for name in payloads:  # recovery must recreate these from the journal
+        (directory / name).unlink()
+    return directory, raw, payloads
+
+
+def recovered_state(directory: Path) -> dict[str, bytes]:
+    return {
+        p.name: p.read_bytes() for p in sorted(directory.iterdir()) if p.is_file()
+    }
+
+
+class TestJournalFuzz:
+    def test_intact_journal_replays_exactly(self, tmp_path: Path) -> None:
+        directory, raw, payloads = journal_with(tmp_path)
+        assert GroupCommit.recover(directory) == len(payloads)
+        assert recovered_state(directory) == payloads
+        assert not (directory / ".commit-journal").exists()
+
+    def test_bit_flip_at_every_offset_discards_whole(self, tmp_path: Path) -> None:
+        directory, raw, payloads = journal_with(tmp_path)
+        journal_path = directory / ".commit-journal"
+        for offset in range(len(raw)):
+            mutant = bytearray(raw)
+            mutant[offset] ^= 0x01
+            journal_path.write_bytes(bytes(mutant))
+            replayed = GroupCommit.recover(directory)
+            # every byte is covered by magic, the count header, or a
+            # record CRC: no single flip may survive as data
+            assert replayed == 0, f"flip at offset {offset} replayed {replayed}"
+            assert not journal_path.exists()
+            assert recovered_state(directory) == {}, f"flip at {offset} wrote targets"
+
+    def test_truncation_at_every_offset_discards_whole(self, tmp_path: Path) -> None:
+        directory, raw, payloads = journal_with(tmp_path)
+        journal_path = directory / ".commit-journal"
+        for cut in range(len(raw)):  # len(raw) itself is the intact case
+            journal_path.write_bytes(raw[:cut])
+            replayed = GroupCommit.recover(directory)
+            assert replayed == 0, f"truncation at {cut} replayed {replayed}"
+            assert not journal_path.exists()
+            assert recovered_state(directory) == {}, f"cut at {cut} wrote targets"
+
+    def test_truncation_at_record_boundaries_specifically(self, tmp_path: Path) -> None:
+        """A journal cut exactly between records frames as a valid shorter
+        batch to a CRC-only parser; the count header must reject it."""
+        directory, raw, payloads = journal_with(tmp_path, n=3)
+        journal_path = directory / ".commit-journal"
+        # walk the record boundaries the same way the parser does
+        boundaries = []
+        pos = 8
+        for _ in range(3):
+            name_len = int.from_bytes(raw[pos + 4 : pos + 8], "big")
+            payload_len = int.from_bytes(
+                raw[pos + 8 + name_len : pos + 16 + name_len], "big"
+            )
+            pos += 16 + name_len + payload_len
+            boundaries.append(pos)
+        assert boundaries[-1] == len(raw)
+        for boundary in boundaries[:-1]:
+            journal_path.write_bytes(raw[:boundary])
+            assert GroupCommit.recover(directory) == 0
+            assert recovered_state(directory) == {}
+
+    def test_crc_valid_but_undecodable_payload_replays_nothing(
+        self, tmp_path: Path
+    ) -> None:
+        """Satellite 2's core case: framing-valid, semantics-torn.  A
+        record whose payload passes its CRC but is not a loadable graph
+        must abort the whole batch before any target is touched."""
+        directory = tmp_path / "commits"
+        directory.mkdir()
+        good = dumps(generate_movies(4, seed=0))
+        evil = good[: len(good) // 2]  # a prefix: CRC will be computed over it
+        journal = bytearray(GroupCommit.MAGIC)
+        journal += (2).to_bytes(4, "big")
+        for name, payload in (("good.graph", good), ("evil.graph", evil)):
+            encoded = name.encode("utf-8")
+            body = (
+                len(encoded).to_bytes(4, "big")
+                + encoded
+                + len(payload).to_bytes(8, "big")
+                + payload
+            )
+            journal += zlib.crc32(body).to_bytes(4, "big") + body
+        (directory / ".commit-journal").write_bytes(bytes(journal))
+        assert GroupCommit.recover(directory) == 0
+        assert recovered_state(directory) == {}  # not even the good record
+
+
+class TestLoadsFuzz:
+    def test_bit_flips_fail_typed(self) -> None:
+        raw = dumps(generate_movies(3, seed=5))
+        for offset in range(len(raw)):
+            mutant = bytearray(raw)
+            mutant[offset] ^= 0x01
+            try:
+                loads(bytes(mutant))
+            except SerializationError:
+                pass  # the typed refusal: exactly what the contract wants
+            except Exception as exc:  # pragma: no cover - the bug being hunted
+                pytest.fail(f"flip at {offset}: untyped {type(exc).__name__}: {exc}")
+
+    def test_truncations_fail_typed(self) -> None:
+        raw = dumps(generate_movies(3, seed=5))
+        for cut in range(len(raw)):
+            try:
+                loads(raw[:cut])
+            except SerializationError:
+                pass
+            except Exception as exc:  # pragma: no cover - the bug being hunted
+                pytest.fail(f"cut at {cut}: untyped {type(exc).__name__}: {exc}")
+
+    def test_trailing_garbage_fails_typed(self) -> None:
+        raw = dumps(generate_movies(3, seed=5))
+        with pytest.raises(SerializationError):
+            loads(raw + b"\x00")
